@@ -1,0 +1,82 @@
+#pragma once
+// Shared harness for the paper-figure benches.
+//
+// Every figure binary follows one pattern: build a converged TrackingSystem,
+// drive the Section-V workload, collect metric series, and print an ASCII
+// table (plus CSV when --csv=<path> is given). Default parameters are a
+// ~1/10-scale version of the paper's setup so the full suite runs in
+// minutes on a laptop; pass --paper for the original 512-node /
+// 5000-objects-per-node scale. Shapes (who wins, crossovers, curvature)
+// are preserved across scales; EXPERIMENTS.md records both.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tracking/tracking_system.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::bench {
+
+struct CommonArgs {
+  bool paper_scale = false;
+  std::uint64_t seed = 0x5eedULL;
+  std::string csv_path;
+
+  static CommonArgs Parse(const util::Config& config) {
+    CommonArgs args;
+    args.paper_scale = config.GetBool("paper", false);
+    args.seed = config.GetUInt("seed", args.seed);
+    args.csv_path = config.GetString("csv", "");
+    return args;
+  }
+};
+
+/// Default system config for the experiments: 5 ms constant latency (the
+/// paper's T1 assumption), big adaptive windows, Scheme 2.
+inline tracking::SystemConfig ExperimentConfig(tracking::IndexingMode mode,
+                                               std::uint64_t seed) {
+  tracking::SystemConfig config;
+  config.tracker.mode = mode;
+  config.tracker.window.tmax_ms = 1000.0;
+  config.tracker.window.nmax = 8192;
+  config.tracker.lmin = 2;
+  config.seed = seed;
+  return config;
+}
+
+/// Paper workload (Section V-A): every node starts with `per_node` objects;
+/// 10% move along 10-node traces.
+inline workload::MovementParams PaperWorkload(std::size_t nodes, std::size_t per_node,
+                                              bool move_in_groups) {
+  workload::MovementParams params;
+  params.nodes = nodes;
+  params.objects_per_node = per_node;
+  params.move_fraction = 0.10;
+  params.trace_length = 10;
+  params.move_in_groups = move_in_groups;
+  params.step_ms = 4000.0;
+  params.jitter_ms = move_in_groups ? 0.0 : 2000.0;
+  return params;
+}
+
+/// Emit the table to stdout and optionally a CSV file.
+inline void Emit(const std::string& title, const util::Table& table,
+                 const std::vector<std::vector<std::string>>& csv_rows,
+                 const CommonArgs& args) {
+  std::printf("\n=== %s ===\n%s", title.c_str(), table.Render().c_str());
+  std::fflush(stdout);
+  if (!args.csv_path.empty()) {
+    util::CsvWriter csv(args.csv_path);
+    if (csv.IsOpen()) {
+      for (const auto& row : csv_rows) csv.WriteRow(row);
+      std::printf("(csv written to %s)\n", args.csv_path.c_str());
+    }
+  }
+}
+
+}  // namespace peertrack::bench

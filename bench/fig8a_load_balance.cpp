@@ -1,0 +1,89 @@
+// Figure 8a reproduction: load balance for the three prefix-length schemes.
+//
+// Paper setup: plot the fraction of total indexing load carried by the
+// bottom x% of nodes (a Lorenz curve; diagonal = perfect balance) for
+//   Scheme 1: Lp = log2 N        (fewest groups, worst balance)
+//   Scheme 2: Lp = log2 N + log2 log2 N   (the paper's choice)
+//   Scheme 3: Lp = 2 log2 N      (most groups, best balance)
+//
+// Expected shape (paper): Scheme 1 far from the diagonal with saltations;
+// Scheme 3 closest to the diagonal; Scheme 2 in between and acceptable.
+
+#include "bench_common.hpp"
+#include "tracking/prefix_scheme.hpp"
+#include "util/format.hpp"
+
+using namespace peertrack;
+using namespace peertrack::bench;
+
+namespace {
+
+std::vector<util::LorenzPoint> RunScheme(tracking::PrefixScheme scheme,
+                                         std::size_t nodes, std::size_t per_node,
+                                         const CommonArgs& args, double& gini,
+                                         double& busy_fraction, unsigned& lp) {
+  auto config = ExperimentConfig(tracking::IndexingMode::kGroup, args.seed);
+  config.scheme = scheme;
+  tracking::TrackingSystem system(nodes, config);
+  lp = system.CurrentLp();
+  workload::ExecuteScenario(system, PaperWorkload(nodes, per_node, true), args.seed);
+  const auto loads = system.IndexLoadPerNode();
+  gini = util::GiniCoefficient(loads);
+  busy_fraction = util::NonZeroFraction(loads);
+  return util::LorenzCurve(loads, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  const auto args = CommonArgs::Parse(config);
+
+  const std::size_t nodes = config.GetUInt("nodes", args.paper_scale ? 512 : 256);
+  const std::size_t per_node = config.GetUInt("volume", args.paper_scale ? 5000 : 500);
+
+  const tracking::PrefixScheme schemes[] = {tracking::PrefixScheme::kLogN,
+                                            tracking::PrefixScheme::kLogNLogLogN,
+                                            tracking::PrefixScheme::kTwoLogN};
+
+  std::vector<std::vector<util::LorenzPoint>> curves;
+  std::vector<double> ginis;
+  std::vector<double> busy;
+  std::vector<unsigned> lps;
+  for (const auto scheme : schemes) {
+    double gini = 0.0;
+    double busy_fraction = 0.0;
+    unsigned lp = 0;
+    curves.push_back(RunScheme(scheme, nodes, per_node, args, gini, busy_fraction, lp));
+    ginis.push_back(gini);
+    busy.push_back(busy_fraction);
+    lps.push_back(lp);
+  }
+
+  util::Table table({"node %", "scheme1 load %", "scheme2 load %", "scheme3 load %",
+                     "diagonal"});
+  std::vector<std::vector<std::string>> csv_rows;
+  csv_rows.push_back({"node_pct", "scheme1", "scheme2", "scheme3"});
+  for (std::size_t p = 0; p < curves[0].size(); ++p) {
+    table.AddRow({util::FormatDouble(curves[0][p].node_fraction * 100, 0),
+                  util::FormatDouble(curves[0][p].load_fraction * 100, 1),
+                  util::FormatDouble(curves[1][p].load_fraction * 100, 1),
+                  util::FormatDouble(curves[2][p].load_fraction * 100, 1),
+                  util::FormatDouble(curves[0][p].node_fraction * 100, 0)});
+    csv_rows.push_back({util::FormatDouble(curves[0][p].node_fraction, 3),
+                        util::FormatDouble(curves[0][p].load_fraction, 4),
+                        util::FormatDouble(curves[1][p].load_fraction, 4),
+                        util::FormatDouble(curves[2][p].load_fraction, 4)});
+  }
+
+  Emit(util::Format("Fig 8a: load balance per prefix scheme ({} nodes, {} objects/node)",
+                    nodes, per_node),
+       table, csv_rows, args);
+  for (std::size_t s = 0; s < 3; ++s) {
+    std::printf("Scheme %zu: Lp=%u  Gini=%.3f  nodes-with-load=%.1f%%\n", s + 1, lps[s],
+                ginis[s], busy[s] * 100.0);
+  }
+  std::printf("Paper shape: Scheme 1 farthest from the diagonal (worst balance), "
+              "Scheme 3 closest, Scheme 2 in between.\n");
+  return 0;
+}

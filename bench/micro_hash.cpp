@@ -1,0 +1,75 @@
+// Micro-benchmarks (A4): hashing and 160-bit keyspace primitives.
+//
+// These sit under every protocol operation; google-benchmark keeps them
+// honest as the library evolves.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/keyspace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace peertrack;
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Sha1Hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(24)->Arg(64)->Arg(256)->Arg(4096);
+
+void BM_ObjectKeyDerivation(benchmark::State& state) {
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hash::ObjectKey("urn:epc:id:sgtin:1000001.42." + std::to_string(sequence++)));
+  }
+}
+BENCHMARK(BM_ObjectKeyDerivation);
+
+void BM_UInt160Add(benchmark::State& state) {
+  util::Rng rng(1);
+  hash::UInt160::Words words;
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng.Next());
+  hash::UInt160 a(words);
+  const hash::UInt160 b = hash::ObjectKey("increment");
+  for (auto _ : state) {
+    a += b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_UInt160Add);
+
+void BM_IntervalMembership(benchmark::State& state) {
+  const auto lo = hash::ObjectKey("lo");
+  const auto hi = hash::ObjectKey("hi");
+  const auto x = hash::ObjectKey("x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.InHalfOpenLoHi(lo, hi));
+  }
+}
+BENCHMARK(BM_IntervalMembership);
+
+void BM_PrefixOfKey(benchmark::State& state) {
+  const auto key = hash::ObjectKey("prefix-subject");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Prefix::OfKey(key, 13));
+  }
+}
+BENCHMARK(BM_PrefixOfKey);
+
+void BM_GroupKey(benchmark::State& state) {
+  const auto prefix = hash::Prefix::FromString("1011001100110");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::GroupKey(prefix));
+  }
+}
+BENCHMARK(BM_GroupKey);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+#pragma once
+// Query-phase helpers shared by the Fig. 7 benches: run a batch of trace
+// queries on the P2P system and replay the same workload into the
+// centralized baseline.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "central/central_tracker.hpp"
+
+namespace peertrack::bench {
+
+struct QueryBatchStats {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  std::size_t failures = 0;
+  std::size_t count = 0;
+};
+
+/// Issue `count` trace queries ("Where has object oi been?") for uniformly
+/// random objects from uniformly random origin nodes; simulated durations.
+inline QueryBatchStats RunP2pTraceQueries(tracking::TrackingSystem& system,
+                                          const std::vector<hash::UInt160>& objects,
+                                          std::size_t count, util::Rng& rng) {
+  QueryBatchStats stats;
+  util::RunningStats durations;
+  util::Percentiles percentiles;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& object = objects[rng.NextBelow(objects.size())];
+    const auto origin = static_cast<std::size_t>(rng.NextBelow(system.NodeCount()));
+    bool ok = false;
+    double duration = 0.0;
+    system.TraceQuery(origin, object, [&](tracking::TrackerNode::TraceResult result) {
+      ok = result.ok;
+      duration = result.DurationMs();
+    });
+    system.Run();
+    if (!ok) {
+      ++stats.failures;
+      continue;
+    }
+    durations.Add(duration);
+    percentiles.Add(duration);
+  }
+  stats.mean_ms = durations.Mean();
+  stats.p95_ms = percentiles.Percentile(95.0);
+  stats.count = durations.Count();
+  return stats;
+}
+
+/// Replay every object's oracle trajectory into the centralized warehouse.
+inline void MirrorIntoCentral(tracking::TrackingSystem& system,
+                              const std::vector<hash::UInt160>& objects,
+                              central::CentralTracker& central) {
+  for (const auto& object : objects) {
+    const auto* trace = system.oracle().FullTrace(object);
+    if (trace == nullptr) continue;
+    for (const auto& visit : *trace) {
+      central.Ingest(object, visit.node, visit.arrived);
+    }
+  }
+}
+
+/// Run the same query batch against the centralized baseline.
+inline QueryBatchStats RunCentralTraceQueries(central::CentralTracker& central,
+                                              const std::vector<hash::UInt160>& objects,
+                                              std::size_t count, util::Rng& rng) {
+  QueryBatchStats stats;
+  util::RunningStats durations;
+  util::Percentiles percentiles;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& object = objects[rng.NextBelow(objects.size())];
+    const auto answer = central.Trace(object);
+    if (answer.rows.empty()) {
+      ++stats.failures;
+      continue;
+    }
+    durations.Add(answer.duration_ms);
+    percentiles.Add(answer.duration_ms);
+  }
+  stats.mean_ms = durations.Mean();
+  stats.p95_ms = percentiles.Percentile(95.0);
+  stats.count = durations.Count();
+  return stats;
+}
+
+}  // namespace peertrack::bench

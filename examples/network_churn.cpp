@@ -1,0 +1,115 @@
+// Network dynamics: organizations joining and leaving, gossip-based size
+// estimation, and Lp adaptation with the Data-Triangle split cascade —
+// the machinery of paper Sections IV-A1/IV-A2 that the static experiments
+// do not exercise.
+//
+// Phase 1: protocol-level Chord churn (joins, graceful leaves, a crash)
+//          with stabilization repairing the ring.
+// Phase 2: gossip size estimation approximating Nn (the paper's [14]).
+// Phase 3: growing the tracked network until Scheme-2's Lp increments,
+//          splitting the prefix index, and verifying queries still resolve.
+//
+//   ./network_churn [--nodes=24] [--growth=40]
+
+#include <cstdio>
+
+#include "peertrack.hpp"
+#include "util/config.hpp"
+#include "util/format.hpp"
+
+using namespace peertrack;
+
+namespace {
+
+void RunChordChurnPhase(std::size_t n) {
+  std::printf("--- phase 1: Chord membership under churn (%zu nodes) ---\n", n);
+  sim::Simulator sim;
+  sim::ConstantLatency latency(5.0);
+  util::Rng rng(17);
+  sim::Network network(sim, latency, rng);
+  chord::ChordRing::Options options;
+  options.stabilize_every_ms = 100.0;
+  options.fix_fingers_every_ms = 10.0;
+  chord::ChordRing ring(network, options);
+  for (std::size_t i = 0; i < n; ++i) ring.AddNode(util::Format("org-{}", i));
+  ring.ProtocolBootstrap(/*settle_ms=*/30'000.0);
+  std::printf("bootstrap converged: %s\n", ring.IsConverged() ? "yes" : "NO");
+
+  ring.Node(n / 3).Leave();
+  ring.ProtocolJoin("late-joiner");
+  ring.Node(n / 2).Crash();
+  sim.RunUntil(sim.Now() + 90'000.0);
+  std::printf("after leave+join+crash: %zu alive, converged: %s, failovers: %llu\n",
+              ring.AliveCount(), ring.IsConverged() ? "yes" : "NO",
+              static_cast<unsigned long long>(
+                  network.metrics().Counter("chord.successor_failover")));
+}
+
+double RunGossipPhase(std::size_t n) {
+  std::printf("\n--- phase 2: gossip size estimation (%zu nodes) ---\n", n);
+  sim::Simulator sim;
+  sim::ConstantLatency latency(5.0);
+  util::Rng rng(23);
+  sim::Network network(sim, latency, rng);
+  estimate::SizeEstimationEpoch epoch(network, rng, n);
+  epoch.Start(/*round_ms=*/50.0, /*rounds=*/50);
+  sim.Run();
+  const double estimate = epoch.MeanEstimate();
+  std::printf("true Nn=%zu, gossip estimate=%.1f (%.0f%% error), %llu messages\n", n,
+              estimate, 100.0 * (estimate - static_cast<double>(n)) /
+                            static_cast<double>(n),
+              static_cast<unsigned long long>(network.metrics().TotalMessages()));
+  return estimate;
+}
+
+void RunGrowthPhase(std::size_t n, std::size_t growth) {
+  std::printf("\n--- phase 3: network growth, Lp adaptation, index splitting ---\n");
+  tracking::SystemConfig config;
+  config.tracker.mode = tracking::IndexingMode::kGroup;
+  tracking::TrackingSystem system(n, config);
+  std::printf("start: %zu orgs, Lp=%u\n", n, system.CurrentLp());
+
+  // Seed the network with objects.
+  workload::MovementParams params;
+  params.nodes = n;
+  params.objects_per_node = 100;
+  params.move_fraction = 0.1;
+  params.trace_length = 4;
+  const auto scenario = workload::ExecuteScenario(system, params, /*epc_seed=*/5);
+
+  const unsigned lp_before = system.CurrentLp();
+  system.GrowNetwork(growth);
+  const unsigned lp_after = system.RecomputePrefixLength();
+  std::printf("after +%zu joins: %zu orgs, Lp %u -> %u, index splits: %llu\n", growth,
+              system.NodeCount(), lp_before, lp_after,
+              static_cast<unsigned long long>(
+                  system.metrics().Counter("track.triangle_split")));
+
+  // Old objects must still resolve through the re-shaped index.
+  util::Rng rng(9);
+  std::size_t ok = 0;
+  const std::size_t probes = 25;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const auto& object =
+        scenario.object_keys[rng.NextBelow(scenario.object_keys.size())];
+    system.LocateQuery(rng.NextBelow(system.NodeCount()), object,
+                       [&](tracking::TrackerNode::LocateResult result) {
+                         if (result.ok) ++ok;
+                       });
+    system.Run();
+  }
+  std::printf("post-growth locate queries: %zu/%zu resolved\n", ok, probes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = util::Config::FromArgs(argc, argv);
+  const std::size_t nodes = cli.GetUInt("nodes", 24);
+  const std::size_t growth = cli.GetUInt("growth", 40);
+
+  RunChordChurnPhase(nodes);
+  RunGossipPhase(nodes);
+  RunGrowthPhase(nodes, growth);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Scenario runner: a one-binary front door to the whole library for people
+// who want to experiment without writing C++. Reads a scenario from a
+// config file (key=value lines, '#' comments) and/or CLI flags (CLI wins),
+// runs it, and prints a report: indexing cost, query latency, load balance,
+// and a comparison against both the centralized warehouse and the flooding
+// baseline.
+//
+//   ./scenario_runner --config=myrun.conf
+//   ./scenario_runner --nodes=128 --objects-per-node=500 --mode=group
+//                     --queries=100 --latency=lognormal:5:0.5
+//
+// Recognized keys (defaults in parentheses): nodes (64),
+// objects-per-node (300), move-fraction (0.1), trace-length (10),
+// move-in-groups (true), mode (group|individual; group), scheme (1|2|3; 2),
+// tmax-ms (1000), nmax (8192), latency ("constant:5"), seed (0x5eed),
+// queries (100), replicate (false), loss (0.0), compare-central (true),
+// compare-flooding (false), csv ("").
+
+#include <cstdio>
+
+#include "peertrack.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/format.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace peertrack;
+
+int main(int argc, char** argv) {
+  auto cli = util::Config::FromArgs(argc, argv);
+  util::Config config;
+  if (cli.Has("config")) {
+    config = util::Config::FromFile(cli.GetString("config", ""));
+  }
+  config.MergeFrom(cli);  // CLI overrides the file.
+
+  const std::size_t nodes = config.GetUInt("nodes", 64);
+  const std::size_t per_node = config.GetUInt("objects-per-node", 300);
+  const std::size_t queries = config.GetUInt("queries", 100);
+
+  tracking::SystemConfig system_config;
+  system_config.tracker.mode = config.GetString("mode", "group") == "individual"
+                                   ? tracking::IndexingMode::kIndividual
+                                   : tracking::IndexingMode::kGroup;
+  switch (config.GetInt("scheme", 2)) {
+    case 1: system_config.scheme = tracking::PrefixScheme::kLogN; break;
+    case 3: system_config.scheme = tracking::PrefixScheme::kTwoLogN; break;
+    default: system_config.scheme = tracking::PrefixScheme::kLogNLogLogN; break;
+  }
+  system_config.tracker.window.tmax_ms = config.GetDouble("tmax-ms", 1000.0);
+  system_config.tracker.window.nmax = config.GetUInt("nmax", 8192);
+  system_config.tracker.replicate_index = config.GetBool("replicate", false);
+  system_config.latency = config.GetString("latency", "constant:5");
+  system_config.seed = config.GetUInt("seed", 0x5eedULL);
+
+  workload::MovementParams params;
+  params.nodes = nodes;
+  params.objects_per_node = per_node;
+  params.move_fraction = config.GetDouble("move-fraction", 0.10);
+  params.trace_length = config.GetUInt("trace-length", 10);
+  params.move_in_groups = config.GetBool("move-in-groups", true);
+
+  std::printf("PeerTrack scenario: %zu orgs, %zu objects/org, mode=%s, latency=%s\n",
+              nodes, per_node,
+              system_config.tracker.mode == tracking::IndexingMode::kGroup
+                  ? "group" : "individual",
+              system_config.latency.c_str());
+
+  tracking::TrackingSystem system(nodes, system_config);
+  system.network().SetLossRate(config.GetDouble("loss", 0.0));
+  const auto scenario = workload::ExecuteScenario(system, params, system_config.seed);
+
+  std::printf("Lp=%u; indexing: %llu messages, %.1f MiB over the wire\n",
+              system.CurrentLp(),
+              static_cast<unsigned long long>(scenario.indexing_messages),
+              static_cast<double>(scenario.indexing_bytes) / (1024.0 * 1024.0));
+
+  // --- P2P trace queries ----------------------------------------------------
+  util::Rng rng(system_config.seed ^ 0xa11ce);
+  util::RunningStats p2p_ms;
+  util::Percentiles p2p_pct;
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const auto& object =
+        scenario.object_keys[rng.NextBelow(scenario.object_keys.size())];
+    system.TraceQuery(rng.NextBelow(nodes), object,
+                      [&](tracking::TrackerNode::TraceResult result) {
+                        if (result.ok) {
+                          p2p_ms.Add(result.DurationMs());
+                          p2p_pct.Add(result.DurationMs());
+                        } else {
+                          ++failures;
+                        }
+                      });
+    system.Run();
+  }
+
+  util::Table report({"metric", "value"});
+  report.AddRow({"trace queries", std::to_string(queries)});
+  report.AddRow({"failures", std::to_string(failures)});
+  report.AddRow({"p2p mean ms", util::FormatDouble(p2p_ms.Mean(), 1)});
+  report.AddRow({"p2p p95 ms", util::FormatDouble(p2p_pct.Percentile(95), 1)});
+
+  // --- Baselines --------------------------------------------------------------
+  if (config.GetBool("compare-central", true)) {
+    central::CentralTracker central;
+    for (const auto& object : scenario.object_keys) {
+      if (const auto* trace = system.oracle().FullTrace(object)) {
+        for (const auto& visit : *trace) {
+          central.Ingest(object, visit.node, visit.arrived);
+        }
+      }
+    }
+    util::Rng crng(system_config.seed ^ 0xa11ce);
+    util::RunningStats central_ms;
+    for (std::size_t i = 0; i < queries; ++i) {
+      const auto& object =
+          scenario.object_keys[crng.NextBelow(scenario.object_keys.size())];
+      crng.NextBelow(nodes);  // Keep streams aligned with the P2P pass.
+      central_ms.Add(central.Trace(object).duration_ms);
+    }
+    report.AddRow({"central scan mean ms", util::FormatDouble(central_ms.Mean(), 1)});
+    report.AddRow({"central db rows", std::to_string(central.store().RowCount())});
+  }
+  if (config.GetBool("compare-flooding", false)) {
+    util::Rng frng(system_config.seed ^ 0xa11ce);
+    util::RunningStats flood_ms;
+    util::RunningStats flood_msgs;
+    for (std::size_t i = 0; i < queries; ++i) {
+      const auto& object =
+          scenario.object_keys[frng.NextBelow(scenario.object_keys.size())];
+      system.FloodTraceQuery(frng.NextBelow(nodes), object,
+                             [&](tracking::FloodingQueryEngine::Result result) {
+                               if (result.ok) {
+                                 flood_ms.Add(result.DurationMs());
+                                 flood_msgs.Add(static_cast<double>(result.messages));
+                               }
+                             });
+      system.Run();
+    }
+    report.AddRow({"flooding mean ms", util::FormatDouble(flood_ms.Mean(), 1)});
+    report.AddRow({"flooding msgs/query", util::FormatDouble(flood_msgs.Mean(), 1)});
+  }
+
+  // --- Load balance ------------------------------------------------------------
+  const auto loads = system.IndexLoadPerNode();
+  report.AddRow({"gateway load gini", util::FormatDouble(util::GiniCoefficient(loads), 3)});
+  report.AddRow({"orgs with index load",
+                 util::FormatDouble(util::NonZeroFraction(loads) * 100.0, 1) + "%"});
+
+  std::printf("\n%s", report.Render().c_str());
+
+  const std::string csv_path = config.GetString("csv", "");
+  if (!csv_path.empty()) {
+    util::CsvWriter csv(csv_path);
+    csv.WriteRow({"metric", "value"});
+    csv.WriteRow({"indexing_messages", std::to_string(scenario.indexing_messages)});
+    csv.WriteRow({"p2p_mean_ms", util::FormatDouble(p2p_ms.Mean(), 3)});
+    std::printf("(csv written to %s)\n", csv_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

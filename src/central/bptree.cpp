@@ -1,0 +1,153 @@
+#include "central/bptree.hpp"
+
+#include <algorithm>
+
+namespace peertrack::central {
+
+BpTree::BpTree(std::size_t order, PageMetrics& metrics)
+    : order_(std::max<std::size_t>(order, 4)),
+      metrics_(metrics),
+      root_(std::make_unique<Leaf>()) {}
+
+BpTree::~BpTree() = default;
+
+const BpTree::Leaf* BpTree::DescendToLeaf(const Entry& target) {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++metrics_.page_reads;
+    const auto& interior = static_cast<const Interior&>(*node);
+    const auto it =
+        std::upper_bound(interior.keys.begin(), interior.keys.end(), target);
+    const auto index =
+        static_cast<std::size_t>(std::distance(interior.keys.begin(), it));
+    node = interior.children[index].get();
+  }
+  return static_cast<const Leaf*>(node);
+}
+
+void BpTree::Insert(const BpKey& key, std::uint64_t row_id) {
+  auto split = InsertInto(*root_, Entry{key, row_id});
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Interior>();
+    new_root->keys.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++height_;
+    ++node_count_;
+  }
+  ++size_;
+}
+
+std::unique_ptr<BpTree::SplitResult> BpTree::InsertInto(Node& node, const Entry& entry) {
+  if (node.is_leaf) {
+    auto& leaf = static_cast<Leaf&>(node);
+    ++metrics_.page_reads;
+    ++metrics_.page_writes;
+    const auto it = std::upper_bound(leaf.entries.begin(), leaf.entries.end(), entry);
+    leaf.entries.insert(it, entry);
+    if (leaf.entries.size() < order_) return nullptr;
+
+    // Split: right half moves to a new leaf chained after this one.
+    const std::size_t mid = leaf.entries.size() / 2;
+    auto right = std::make_unique<Leaf>();
+    right->entries.assign(leaf.entries.begin() + static_cast<std::ptrdiff_t>(mid),
+                          leaf.entries.end());
+    leaf.entries.resize(mid);
+    right->next = leaf.next;
+    leaf.next = right.get();
+    ++node_count_;
+    ++metrics_.page_writes;
+
+    auto result = std::make_unique<SplitResult>();
+    result->separator = right->entries.front();
+    result->right = std::move(right);
+    return result;
+  }
+
+  auto& interior = static_cast<Interior&>(node);
+  ++metrics_.page_reads;
+  const auto it = std::upper_bound(interior.keys.begin(), interior.keys.end(), entry);
+  const auto index = static_cast<std::size_t>(std::distance(interior.keys.begin(), it));
+  auto split = InsertInto(*interior.children[index], entry);
+  if (split == nullptr) return nullptr;
+
+  ++metrics_.page_writes;
+  interior.keys.insert(interior.keys.begin() + static_cast<std::ptrdiff_t>(index),
+                       split->separator);
+  interior.children.insert(
+      interior.children.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+      std::move(split->right));
+  if (interior.children.size() <= order_) return nullptr;
+
+  // Split the interior node; the middle key moves up.
+  const std::size_t mid = interior.keys.size() / 2;
+  auto right = std::make_unique<Interior>();
+  auto result = std::make_unique<SplitResult>();
+  result->separator = interior.keys[mid];
+  right->keys.assign(interior.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     interior.keys.end());
+  for (std::size_t i = mid + 1; i < interior.children.size(); ++i) {
+    right->children.push_back(std::move(interior.children[i]));
+  }
+  interior.keys.resize(mid);
+  interior.children.resize(mid + 1);
+  ++node_count_;
+  ++metrics_.page_writes;
+  result->right = std::move(right);
+  return result;
+}
+
+std::vector<std::uint64_t> BpTree::LookupObject(const hash::UInt160& epc) {
+  std::vector<std::uint64_t> rows;
+  const BpKey lo{epc, -1e300};
+  const BpKey hi{epc, 1e300};
+  ScanRange(lo, hi, [&](const BpKey&, std::uint64_t row) { rows.push_back(row); });
+  return rows;
+}
+
+bool BpTree::CheckNode(const Node& node, const Entry* lo, const Entry* hi,
+                       std::size_t depth, std::size_t& leaf_depth,
+                       std::size_t& counted) const {
+  auto in_bounds = [&](const Entry& e) {
+    if (lo != nullptr && e < *lo) return false;       // Must be >= lo.
+    if (hi != nullptr && !(e < *hi)) return false;    // Must be < hi.
+    return true;
+  };
+  if (node.is_leaf) {
+    const auto& leaf = static_cast<const Leaf&>(node);
+    if (!std::is_sorted(leaf.entries.begin(), leaf.entries.end())) return false;
+    for (const auto& entry : leaf.entries) {
+      if (!in_bounds(entry)) return false;
+    }
+    if (leaf_depth == 0) {
+      leaf_depth = depth;
+    } else if (leaf_depth != depth) {
+      return false;
+    }
+    counted += leaf.entries.size();
+    return true;
+  }
+  const auto& interior = static_cast<const Interior&>(node);
+  if (interior.children.size() != interior.keys.size() + 1) return false;
+  if (interior.children.size() > order_ + 1) return false;
+  if (!std::is_sorted(interior.keys.begin(), interior.keys.end())) return false;
+  for (std::size_t i = 0; i < interior.children.size(); ++i) {
+    const Entry* child_lo = i == 0 ? lo : &interior.keys[i - 1];
+    const Entry* child_hi = i == interior.keys.size() ? hi : &interior.keys[i];
+    if (!CheckNode(*interior.children[i], child_lo, child_hi, depth + 1, leaf_depth,
+                   counted)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BpTree::CheckInvariants() const {
+  std::size_t leaf_depth = 0;
+  std::size_t counted = 0;
+  if (!CheckNode(*root_, nullptr, nullptr, 1, leaf_depth, counted)) return false;
+  return counted == size_;
+}
+
+}  // namespace peertrack::central

@@ -1,0 +1,135 @@
+#pragma once
+// From-scratch B+-tree on (epc, t_start), mapping to heap-file row ids.
+//
+// This is the covering secondary index of the centralized baseline. Every
+// node visit is counted as one page read (interior and leaf nodes are one
+// page each, as in a real database), so the Fig. 7 benches can report both
+// execution plans honestly: scan (pages linear in |DB|) vs. index
+// (O(log |DB|) + matching leaves).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "central/page_store.hpp"
+#include "hash/uint160.hpp"
+
+namespace peertrack::central {
+
+/// Composite index key: object id then interval start.
+struct BpKey {
+  hash::UInt160 epc;
+  double t_start = 0.0;
+
+  friend bool operator<(const BpKey& a, const BpKey& b) noexcept {
+    if (a.epc != b.epc) return a.epc < b.epc;
+    return a.t_start < b.t_start;
+  }
+  friend bool operator==(const BpKey& a, const BpKey& b) noexcept {
+    return a.epc == b.epc && a.t_start == b.t_start;
+  }
+};
+
+class BpTree {
+ public:
+  /// Internal entry: the composite (key, row id). Row ids are unique, so
+  /// entries are strictly ordered even when many rows share one BpKey —
+  /// which keeps split separators unambiguous under duplicates.
+  struct Entry {
+    BpKey key;
+    std::uint64_t row = 0;
+
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.key < b.key) return true;
+      if (b.key < a.key) return false;
+      return a.row < b.row;
+    }
+  };
+
+  /// `order` = max children per interior node (= max entries per leaf).
+  BpTree(std::size_t order, PageMetrics& metrics);
+  ~BpTree();
+
+  BpTree(const BpTree&) = delete;
+  BpTree& operator=(const BpTree&) = delete;
+
+  /// Insert key -> row id. Duplicate keys are allowed (stored adjacently).
+  void Insert(const BpKey& key, std::uint64_t row_id);
+
+  /// Visit all entries with lo <= key <= hi, in key order.
+  /// Visitor: void(const BpKey&, std::uint64_t row_id).
+  template <typename Visitor>
+  void ScanRange(const BpKey& lo, const BpKey& hi, Visitor&& visit) {
+    const Leaf* leaf = DescendToLeaf(Entry{lo, 0});
+    while (leaf != nullptr) {
+      ++metrics_.page_reads;
+      for (const Entry& entry : leaf->entries) {
+        if (entry.key < lo) continue;
+        if (hi < entry.key) return;
+        ++metrics_.rows_touched;
+        visit(entry.key, entry.row);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// All entries for one epc (the trace query's index plan).
+  std::vector<std::uint64_t> LookupObject(const hash::UInt160& epc);
+
+  std::size_t Size() const noexcept { return size_; }
+  std::size_t Height() const noexcept { return height_; }
+  std::size_t NodeCount() const noexcept { return node_count_; }
+
+  /// Structural invariants (tests): sorted keys, fanout bounds, uniform
+  /// leaf depth, and the leaf chain covering exactly `Size()` entries.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Interior;
+  struct Leaf;
+
+  struct Node {
+    bool is_leaf = false;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    virtual ~Node() = default;
+  };
+
+  struct Interior final : Node {
+    Interior() : Node(false) {}
+    // keys.size() + 1 == children.size(); child i holds entries < keys[i]
+    // (and >= keys[i-1]).
+    std::vector<Entry> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  struct Leaf final : Node {
+    Leaf() : Node(true) {}
+    std::vector<Entry> entries;
+    Leaf* next = nullptr;
+  };
+
+  struct SplitResult {
+    Entry separator;
+    std::unique_ptr<Node> right;
+  };
+
+  /// Walk interior nodes to the leaf that could hold `target` (counts
+  /// interior page reads; the leaf's read is counted by the caller's scan
+  /// loop).
+  const Leaf* DescendToLeaf(const Entry& target);
+
+  std::unique_ptr<SplitResult> InsertInto(Node& node, const Entry& entry);
+  bool CheckNode(const Node& node, const Entry* lo, const Entry* hi,
+                 std::size_t depth, std::size_t& leaf_depth,
+                 std::size_t& counted) const;
+
+  std::size_t order_;
+  PageMetrics& metrics_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::size_t height_ = 1;
+  std::size_t node_count_ = 1;
+};
+
+}  // namespace peertrack::central

@@ -1,0 +1,20 @@
+#include "central/central_tracker.hpp"
+
+namespace peertrack::central {
+
+CentralTracker::TraceAnswer CentralTracker::Trace(const hash::UInt160& epc) {
+  TraceAnswer answer;
+  answer.rows = store_.Trace(epc, options_.plan, answer.cost);
+  answer.duration_ms = options_.cost.QueryMs(answer.cost);
+  return answer;
+}
+
+CentralTracker::LocateAnswer CentralTracker::Locate(const hash::UInt160& epc,
+                                                    double t) {
+  LocateAnswer answer;
+  answer.location = store_.Locate(epc, t, options_.plan, answer.cost);
+  answer.duration_ms = options_.cost.QueryMs(answer.cost);
+  return answer;
+}
+
+}  // namespace peertrack::central

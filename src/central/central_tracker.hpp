@@ -1,0 +1,57 @@
+#pragma once
+// Centralized tracker facade — the Fig. 7 baseline.
+//
+// Mirrors TrackingSystem's query surface over the central EventStore: every
+// capture everywhere is shipped to one warehouse, and trace/locate queries
+// run there under a chosen execution plan. Returned durations come from the
+// CostModel; correctness is verified against the same oracle as the P2P
+// stack.
+
+#include <vector>
+
+#include "central/cost_model.hpp"
+#include "central/event_store.hpp"
+#include "moods/oracle.hpp"
+
+namespace peertrack::central {
+
+class CentralTracker {
+ public:
+  struct Options {
+    EventStore::Options store;
+    CostModel cost;
+    QueryPlan plan = QueryPlan::kScan;  ///< Paper-reproduction default.
+  };
+
+  explicit CentralTracker(Options options) : options_(options), store_(options.store) {}
+  CentralTracker() : CentralTracker(Options{}) {}
+
+  /// Ingest one capture (object at node `location` at time `t`).
+  void Ingest(const hash::UInt160& epc, std::uint32_t location, double t) {
+    store_.RecordArrival(epc, location, t);
+  }
+
+  struct TraceAnswer {
+    std::vector<ObjectLocationRow> rows;
+    double duration_ms = 0.0;
+    QueryCost cost;
+  };
+  TraceAnswer Trace(const hash::UInt160& epc);
+
+  struct LocateAnswer {
+    std::optional<std::uint32_t> location;
+    double duration_ms = 0.0;
+    QueryCost cost;
+  };
+  LocateAnswer Locate(const hash::UInt160& epc, double t);
+
+  EventStore& store() noexcept { return store_; }
+  const Options& options() const noexcept { return options_; }
+  void SetPlan(QueryPlan plan) noexcept { options_.plan = plan; }
+
+ private:
+  Options options_;
+  EventStore store_;
+};
+
+}  // namespace peertrack::central

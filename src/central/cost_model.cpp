@@ -1,0 +1,3 @@
+#include "central/cost_model.hpp"
+
+// CostModel is header-only; this TU anchors the module.

@@ -1,0 +1,63 @@
+#include "central/event_store.hpp"
+
+#include <algorithm>
+
+namespace peertrack::central {
+
+EventStore::EventStore(Options options)
+    : options_(options), table_(options.rows_per_page, metrics_) {
+  if (options_.maintain_index) {
+    index_ = std::make_unique<BpTree>(options_.btree_order, metrics_);
+  }
+}
+
+void EventStore::RecordArrival(const hash::UInt160& epc, std::uint32_t location,
+                               double t) {
+  if (const auto it = open_rows_.find(epc); it != open_rows_.end()) {
+    table_.FetchMutable(it->second).t_end = t;
+  }
+  ObjectLocationRow row;
+  row.epc = epc;
+  row.location = location;
+  row.t_start = t;
+  const std::uint64_t row_id = table_.Append(std::move(row));
+  open_rows_[epc] = row_id;
+  if (index_) index_->Insert(BpKey{epc, t}, row_id);
+}
+
+std::vector<ObjectLocationRow> EventStore::Trace(const hash::UInt160& epc,
+                                                 QueryPlan plan, QueryCost& cost) {
+  const PageMetrics before = metrics_;
+  std::vector<ObjectLocationRow> rows;
+  if (plan == QueryPlan::kIndex && index_) {
+    for (const std::uint64_t row_id : index_->LookupObject(epc)) {
+      rows.push_back(table_.Fetch(row_id));
+    }
+  } else {
+    table_.Scan([&](std::uint64_t, const ObjectLocationRow& row) {
+      if (row.epc == epc) rows.push_back(row);
+    });
+    std::sort(rows.begin(), rows.end(),
+              [](const ObjectLocationRow& a, const ObjectLocationRow& b) {
+                return a.t_start < b.t_start;
+              });
+  }
+  cost.pages = metrics_ - before;
+  cost.result_rows = rows.size();
+  return rows;
+}
+
+std::optional<std::uint32_t> EventStore::Locate(const hash::UInt160& epc, double t,
+                                                QueryPlan plan, QueryCost& cost) {
+  const auto rows = Trace(epc, plan, cost);
+  std::optional<std::uint32_t> location;
+  for (const auto& row : rows) {
+    if (row.t_start <= t && t < row.t_end) {
+      location = row.location;
+      break;
+    }
+  }
+  return location;
+}
+
+}  // namespace peertrack::central

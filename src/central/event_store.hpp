@@ -1,0 +1,77 @@
+#pragma once
+// Centralized temporal event store (Wang & Liu, VLDB'05 — the model the
+// paper's centralized baseline is built on, reference [31]).
+//
+// One table: OBJECT_LOCATION(epc, location, t_start, t_end), where an open
+// interval (t_end = +inf) is the object's current location. Every movement
+// closes the previous interval and appends a new one. Two execution plans
+// answer trace/locate queries: a sequential heap scan (the behaviour the
+// paper measured on MySQL — cost linear in table size) and a covering
+// B+-tree plan on (epc, t_start).
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "central/bptree.hpp"
+#include "central/page_store.hpp"
+#include "hash/uint160.hpp"
+
+namespace peertrack::central {
+
+constexpr double kOpenEnd = 1e300;
+
+struct ObjectLocationRow {
+  hash::UInt160 epc;
+  std::uint32_t location = 0;
+  double t_start = 0.0;
+  double t_end = kOpenEnd;
+};
+
+enum class QueryPlan { kScan, kIndex };
+
+struct QueryCost {
+  PageMetrics pages;
+  std::size_t result_rows = 0;
+};
+
+class EventStore {
+ public:
+  struct Options {
+    std::size_t rows_per_page = 64;  ///< ~8 KiB pages / ~128 B rows.
+    std::size_t btree_order = 64;
+    bool maintain_index = true;
+  };
+
+  explicit EventStore(Options options);
+  EventStore() : EventStore(Options{}) {}
+
+  /// Ingest one movement event: object `epc` arrived at `location` at
+  /// time `t`. Closes the previous open interval.
+  void RecordArrival(const hash::UInt160& epc, std::uint32_t location, double t);
+
+  /// Trace: all intervals of `epc` ordered by t_start, with the page costs
+  /// of the chosen plan.
+  std::vector<ObjectLocationRow> Trace(const hash::UInt160& epc, QueryPlan plan,
+                                       QueryCost& cost);
+
+  /// Locate at time `t` (open intervals match any t >= t_start).
+  std::optional<std::uint32_t> Locate(const hash::UInt160& epc, double t,
+                                      QueryPlan plan, QueryCost& cost);
+
+  std::size_t RowCount() const noexcept { return table_.RowCount(); }
+  std::size_t PageCount() const noexcept { return table_.PageCount(); }
+  const PageMetrics& metrics() const noexcept { return metrics_; }
+  void ResetMetrics() { metrics_.Reset(); }
+  const BpTree* index() const noexcept { return index_.get(); }
+
+ private:
+  Options options_;
+  PageMetrics metrics_;
+  HeapFile<ObjectLocationRow> table_;
+  std::unique_ptr<BpTree> index_;
+  /// Server-side bookkeeping: row id of each object's open interval.
+  std::unordered_map<hash::UInt160, std::uint64_t, hash::UInt160Hasher> open_rows_;
+};
+
+}  // namespace peertrack::central

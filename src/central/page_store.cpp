@@ -1,0 +1,3 @@
+#include "central/page_store.hpp"
+
+// HeapFile is a header template; this TU anchors the module.

@@ -1,0 +1,353 @@
+#include "chord/chord_node.hpp"
+
+#include "hash/keyspace.hpp"
+#include "util/logging.hpp"
+
+namespace peertrack::chord {
+
+ChordNode::ChordNode(sim::Network& network, std::string address, Options options)
+    : network_(network),
+      address_(std::move(address)),
+      self_{hash::NodeKey(address_), sim::kInvalidActor},
+      options_(options),
+      successors_(self_.id, options.successor_list_size),
+      fingers_(self_.id) {
+  self_.actor = network_.Register(*this);
+}
+
+NodeRef ChordNode::Successor() const noexcept {
+  return successors_.Empty() ? self_ : successors_.First();
+}
+
+bool ChordNode::Owns(const Key& key) const noexcept {
+  if (!predecessor_) return true;
+  return key.InHalfOpenLoHi(predecessor_->id, self_.id);
+}
+
+void ChordNode::CreateRing() {
+  alive_ = true;
+  predecessor_.reset();
+}
+
+void ChordNode::Join(const NodeRef& bootstrap, std::function<void()> on_joined) {
+  alive_ = true;
+  predecessor_.reset();
+  on_joined_ = std::move(on_joined);
+
+  // Ask the bootstrap peer to resolve our own id; the result is our
+  // successor. Driven by the standard lookup machinery with an explicit
+  // first target.
+  const std::uint64_t request_id = next_request_id_++;
+  PendingLookup pending;
+  pending.key = self_.id;
+  pending.callback = [this](const NodeRef& owner, std::size_t) {
+    if (!owner.Valid()) {
+      util::LogWarn("join of {} failed: lookup error", self_.Describe());
+      return;
+    }
+    successors_.Offer(owner);
+    // Announce ourselves so the successor adopts us as predecessor and
+    // transfers the keys we now own.
+    auto notify = std::make_unique<NotifyMessage>();
+    notify->candidate = self_;
+    network_.Send(self_.actor, owner.actor, std::move(notify));
+    if (on_joined_) {
+      auto done = std::move(on_joined_);
+      on_joined_ = {};
+      done();
+    }
+  };
+  pending_lookups_.emplace(request_id, std::move(pending));
+  LookupSendStep(request_id, bootstrap);
+}
+
+void ChordNode::Leave() {
+  if (!alive_) return;
+  const NodeRef successor = Successor();
+  if (successor.actor != self_.actor) {
+    // Hand application state for our whole range (pred, self] to the
+    // successor before we disappear.
+    if (app_ != nullptr) {
+      const Key lo = predecessor_ ? predecessor_->id : self_.id;
+      app_->OnRangeTransfer(lo, self_.id, successor);
+    }
+    auto to_successor = std::make_unique<LeaveNotice>();
+    to_successor->departing = self_;
+    to_successor->to_successor = true;
+    if (predecessor_) to_successor->replacement = *predecessor_;
+    network_.Send(self_.actor, successor.actor, std::move(to_successor));
+
+    if (predecessor_) {
+      auto to_predecessor = std::make_unique<LeaveNotice>();
+      to_predecessor->departing = self_;
+      to_predecessor->to_successor = false;
+      to_predecessor->replacement = successor;
+      network_.Send(self_.actor, predecessor_->actor, std::move(to_predecessor));
+    }
+  }
+  Crash();
+}
+
+void ChordNode::Crash() {
+  alive_ = false;
+  network_.SetUp(self_.actor, false);
+  pending_lookups_.clear();
+  stabilize_request_.reset();
+  stabilize_timeout_.Cancel();
+}
+
+void ChordNode::StartMaintenance(double stabilize_every_ms, double fix_fingers_every_ms) {
+  stabilize_every_ms_ = stabilize_every_ms;
+  fix_fingers_every_ms_ = fix_fingers_every_ms;
+  ScheduleMaintenance();
+}
+
+void ChordNode::ScheduleMaintenance() {
+  if (stabilize_every_ms_ > 0.0) {
+    network_.simulator().ScheduleAfter(stabilize_every_ms_, [this] {
+      if (alive_) DoStabilize();
+    });
+  }
+  if (fix_fingers_every_ms_ > 0.0) {
+    network_.simulator().ScheduleAfter(fix_fingers_every_ms_, [this] { DoFixFingers(); });
+  }
+}
+
+void ChordNode::DoStabilize() {
+  // Re-arm the periodic timer first so every exit path keeps the loop
+  // alive.
+  if (stabilize_every_ms_ > 0.0) {
+    network_.simulator().ScheduleAfter(stabilize_every_ms_, [this] {
+      if (alive_) DoStabilize();
+    });
+  }
+  const NodeRef successor = Successor();
+  if (successor.actor == self_.actor) {
+    // Degenerate self-successor (first node of a ring). Standard stabilize
+    // asks successor.predecessor — which here is our own predecessor — and
+    // adopts it, closing the two-node loop after the first join.
+    if (predecessor_ && predecessor_->actor != self_.actor) {
+      successors_.Offer(*predecessor_);
+      auto notify = std::make_unique<NotifyMessage>();
+      notify->candidate = self_;
+      network_.Send(self_.actor, predecessor_->actor, std::move(notify));
+    }
+    return;
+  }
+  DoCheckPredecessor();
+  if (stabilize_request_) return;  // One in flight at a time.
+
+  const std::uint64_t request_id = next_request_id_++;
+  stabilize_request_ = request_id;
+  stabilize_target_ = successor;
+  auto request = std::make_unique<StabilizeRequest>();
+  request->request_id = request_id;
+  network_.Send(self_.actor, successor.actor, std::move(request));
+
+  stabilize_timeout_ = network_.simulator().ScheduleAfter(
+      options_.request_timeout_ms, [this, request_id] {
+        if (!alive_ || !stabilize_request_ || *stabilize_request_ != request_id) return;
+        // Successor did not answer: consider it dead and fail over.
+        stabilize_request_.reset();
+        EvictPeer(stabilize_target_);
+        network_.metrics().Bump("chord.successor_failover");
+      });
+}
+
+void ChordNode::DoCheckPredecessor() {
+  // Chord's check_predecessor(): probe the predecessor so a crashed one is
+  // eventually cleared and the true predecessor's notify can land.
+  if (!predecessor_ || ping_request_) return;
+  const std::uint64_t request_id = next_request_id_++;
+  ping_request_ = request_id;
+  ping_target_ = *predecessor_;
+  auto ping = std::make_unique<PingRequest>();
+  ping->request_id = request_id;
+  network_.Send(self_.actor, predecessor_->actor, std::move(ping));
+  ping_timeout_ = network_.simulator().ScheduleAfter(
+      options_.request_timeout_ms, [this, request_id] {
+        if (!alive_ || !ping_request_ || *ping_request_ != request_id) return;
+        ping_request_.reset();
+        EvictPeer(ping_target_);
+        network_.metrics().Bump("chord.predecessor_evicted");
+      });
+}
+
+void ChordNode::DoFixFingers() {
+  if (!alive_) return;
+  // Refresh one finger per round; consecutive fingers that fall inside the
+  // resolved node's range are filled in the callback without extra lookups.
+  const unsigned index = next_finger_;
+  next_finger_ = (next_finger_ + 1) % FingerTable::kBits;
+  Lookup(fingers_.Start(index), [this, index](const NodeRef& owner, std::size_t) {
+    if (!owner.Valid() || IsConfirmedDead(owner)) return;
+    fingers_.Set(index, owner);
+    for (unsigned j = index + 1; j < FingerTable::kBits; ++j) {
+      if (fingers_.Start(j).InHalfOpenLoHi(self_.id, owner.id)) {
+        fingers_.Set(j, owner);
+        next_finger_ = (j + 1) % FingerTable::kBits;
+      } else {
+        break;
+      }
+    }
+  });
+  if (fix_fingers_every_ms_ > 0.0) {
+    network_.simulator().ScheduleAfter(fix_fingers_every_ms_, [this] { DoFixFingers(); });
+  }
+}
+
+void ChordNode::AdoptPredecessor(const NodeRef& candidate) {
+  if (candidate.actor == self_.actor || IsConfirmedDead(candidate)) return;
+  if (!predecessor_ || candidate.id.InOpenInterval(predecessor_->id, self_.id)) {
+    const std::optional<NodeRef> old = predecessor_;
+    predecessor_ = candidate;
+    // Keys in (old_pred, candidate] are no longer ours; let the app ship
+    // its state to the new owner. With no previous predecessor we were
+    // nominally responsible for the whole ring, so the transferred span is
+    // (self, candidate] — everything except our own arc.
+    if (app_ != nullptr) {
+      const Key lo = old ? old->id : self_.id;
+      app_->OnRangeTransfer(lo, candidate.id, candidate);
+    }
+  }
+}
+
+void ChordNode::EvictPeer(const NodeRef& peer) {
+  confirmed_dead_.insert(peer.actor);
+  successors_.Remove(peer);
+  fingers_.Evict(peer);
+  if (predecessor_ && predecessor_->actor == peer.actor) predecessor_.reset();
+}
+
+ChordNode::RouteStep ChordNode::NextRouteStep(const Key& key) const {
+  RouteStep step;
+  const NodeRef successor = Successor();
+  if (successor.actor == self_.actor || key.InHalfOpenLoHi(self_.id, successor.id)) {
+    step.done = true;
+    step.node = successor;
+    return step;
+  }
+  if (const auto finger = fingers_.ClosestPreceding(key)) {
+    // A finger may overshoot the tightest predecessor but never the key.
+    step.node = *finger;
+    // Successor-list entries can be closer than the best finger.
+    for (const auto& entry : successors_.Entries()) {
+      if (entry.id.InOpenInterval(step.node.id, key)) step.node = entry;
+    }
+    step.done = false;
+    return step;
+  }
+  // No usable finger: fall back to the last successor-list entry preceding
+  // the key, or the immediate successor.
+  step.node = successor;
+  for (const auto& entry : successors_.Entries()) {
+    if (entry.id.InOpenInterval(self_.id, key)) step.node = entry;
+  }
+  step.done = false;
+  return step;
+}
+
+void ChordNode::OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
+  if (!alive_) return;
+  if (auto* lookup_req = dynamic_cast<LookupStepRequest*>(message.get())) {
+    HandleLookupStep(from, *lookup_req);
+    return;
+  }
+  if (auto* lookup_resp = dynamic_cast<LookupStepResponse*>(message.get())) {
+    HandleLookupResponse(*lookup_resp);
+    return;
+  }
+  if (auto* stab_req = dynamic_cast<StabilizeRequest*>(message.get())) {
+    HandleStabilizeRequest(from, *stab_req);
+    return;
+  }
+  if (auto* stab_resp = dynamic_cast<StabilizeResponse*>(message.get())) {
+    HandleStabilizeResponse(*stab_resp);
+    return;
+  }
+  if (auto* notify = dynamic_cast<NotifyMessage*>(message.get())) {
+    HandleNotify(*notify);
+    return;
+  }
+  if (auto* leave = dynamic_cast<LeaveNotice*>(message.get())) {
+    HandleLeave(*leave);
+    return;
+  }
+  if (auto* ping = dynamic_cast<PingRequest*>(message.get())) {
+    auto pong = std::make_unique<PingResponse>();
+    pong->request_id = ping->request_id;
+    network_.Send(self_.actor, from, std::move(pong));
+    return;
+  }
+  if (auto* pong = dynamic_cast<PingResponse*>(message.get())) {
+    if (ping_request_ && *ping_request_ == pong->request_id) {
+      ping_request_.reset();
+      ping_timeout_.Cancel();
+    }
+    return;
+  }
+  if (app_ != nullptr) {
+    app_->OnAppMessage(from, std::move(message));
+    return;
+  }
+  util::LogWarn("{}: unhandled message {}", self_.Describe(), message->TypeName());
+}
+
+void ChordNode::HandleStabilizeRequest(sim::ActorId from, const StabilizeRequest& request) {
+  auto response = std::make_unique<StabilizeResponse>();
+  response->request_id = request.request_id;
+  if (predecessor_) {
+    response->has_predecessor = true;
+    response->predecessor = *predecessor_;
+  }
+  response->successors = successors_.Entries();
+  network_.Send(self_.actor, from, std::move(response));
+}
+
+void ChordNode::HandleStabilizeResponse(const StabilizeResponse& response) {
+  if (!stabilize_request_ || *stabilize_request_ != response.request_id) return;
+  stabilize_request_.reset();
+  stabilize_timeout_.Cancel();
+
+  if (response.has_predecessor && !IsConfirmedDead(response.predecessor) &&
+      response.predecessor.id.InOpenInterval(self_.id, stabilize_target_.id)) {
+    // A node sits between us and our successor: adopt it.
+    successors_.Offer(response.predecessor);
+  }
+  // Merge the successor's list, filtering peers we know to be dead —
+  // otherwise stale gossip would resurrect them indefinitely.
+  for (const auto& peer : response.successors) {
+    if (!IsConfirmedDead(peer)) successors_.Offer(peer);
+  }
+
+  const NodeRef successor = Successor();
+  if (successor.actor != self_.actor) {
+    auto notify = std::make_unique<NotifyMessage>();
+    notify->candidate = self_;
+    network_.Send(self_.actor, successor.actor, std::move(notify));
+  }
+}
+
+void ChordNode::HandleNotify(const NotifyMessage& notify) {
+  AdoptPredecessor(notify.candidate);
+}
+
+void ChordNode::HandleLeave(const LeaveNotice& notice) {
+  EvictPeer(notice.departing);
+  if (notice.to_successor) {
+    // Our predecessor left; its predecessor is our new one.
+    if (notice.replacement.Valid()) AdoptPredecessor(notice.replacement);
+  } else {
+    // Our successor left; adopt its successor.
+    if (notice.replacement.Valid()) successors_.Offer(notice.replacement);
+  }
+}
+
+void ChordNode::OracleWire(std::optional<NodeRef> predecessor,
+                           std::vector<NodeRef> successor_list) {
+  alive_ = true;
+  predecessor_ = std::move(predecessor);
+  successors_.Assign(std::move(successor_list));
+}
+
+}  // namespace peertrack::chord

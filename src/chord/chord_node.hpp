@@ -1,0 +1,204 @@
+#pragma once
+// Chord protocol node (Stoica et al., SIGCOMM'01), the overlay the paper
+// builds on.
+//
+// Each ChordNode is a simulated actor with a 160-bit id = SHA1(address).
+// It maintains a predecessor, a successor list, and a finger table, and
+// resolves keys with *iterative* lookups: the initiator contacts each hop
+// itself, which both matches the paper's message accounting and lets the
+// tracking layer piggyback "does any intermediate node know this object?"
+// checks on the same routing walk (Section IV-B of the paper).
+//
+// Application payloads are forwarded to an AppHandler so the tracking layer
+// can colocate gateway-index state with the overlay node.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chord/finger_table.hpp"
+#include "chord/messages.hpp"
+#include "chord/successor_list.hpp"
+#include "chord/types.hpp"
+#include "sim/network.hpp"
+
+namespace peertrack::chord {
+
+class ChordNode final : public sim::Actor {
+ public:
+  /// Application plug-in living on this overlay node.
+  class AppHandler {
+   public:
+    virtual ~AppHandler() = default;
+
+    /// Non-Chord message addressed to this node.
+    virtual void OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) = 0;
+
+    /// Keys in the ring interval (lo, hi] are now owned by `new_owner`
+    /// (a predecessor joined or this node is leaving); the application
+    /// should hand matching state over.
+    virtual void OnRangeTransfer(const Key& lo, const Key& hi, const NodeRef& new_owner) {
+      (void)lo; (void)hi; (void)new_owner;
+    }
+  };
+
+  struct Options {
+    double request_timeout_ms = 500.0;  ///< Lookup/stabilize step timeout.
+    std::size_t max_lookup_steps = 256; ///< Routing-loop safety valve.
+    std::size_t lookup_retries = 3;     ///< Restarts after a dead hop.
+    std::size_t successor_list_size = SuccessorList::kDefaultCapacity;
+  };
+
+  /// Registers itself with the network. `address` determines the ring id.
+  ChordNode(sim::Network& network, std::string address, Options options);
+  ChordNode(sim::Network& network, std::string address)
+      : ChordNode(network, std::move(address), Options{}) {}
+
+  ChordNode(const ChordNode&) = delete;
+  ChordNode& operator=(const ChordNode&) = delete;
+
+  const NodeRef& Self() const noexcept { return self_; }
+  const std::string& Address() const noexcept { return address_; }
+  const std::optional<NodeRef>& Predecessor() const noexcept { return predecessor_; }
+
+  /// Current immediate successor; Self() on a single-node ring.
+  NodeRef Successor() const noexcept;
+
+  bool Alive() const noexcept { return alive_; }
+
+  void SetAppHandler(AppHandler* handler) noexcept { app_ = handler; }
+
+  sim::Network& network() noexcept { return network_; }
+  FingerTable& fingers() noexcept { return fingers_; }
+  const FingerTable& fingers() const noexcept { return fingers_; }
+  SuccessorList& successors() noexcept { return successors_; }
+  const SuccessorList& successors() const noexcept { return successors_; }
+
+  // --- Membership -----------------------------------------------------
+
+  /// Become the first node of a new ring.
+  void CreateRing();
+
+  /// Join via `bootstrap`; `on_joined` fires once the successor is known.
+  void Join(const NodeRef& bootstrap, std::function<void()> on_joined = {});
+
+  /// Graceful departure: hands the owned key range to the successor (via
+  /// AppHandler::OnRangeTransfer), informs neighbours, and goes down.
+  void Leave();
+
+  /// Crash without any notification (for failure experiments).
+  void Crash();
+
+  /// Begin periodic stabilize/fix-fingers timers.
+  void StartMaintenance(double stabilize_every_ms, double fix_fingers_every_ms);
+
+  // --- Routing ----------------------------------------------------------
+
+  using LookupCallback = std::function<void(const NodeRef& owner, std::size_t hops)>;
+
+  /// Resolve the successor of `key`. `hops` counts remote routing steps
+  /// (0 when answered locally). On unrecoverable failure the callback gets
+  /// an invalid NodeRef.
+  void Lookup(const Key& key, LookupCallback callback);
+
+  /// One local routing decision for `key`: done (with the owner) or the
+  /// next node to ask. Exposed so higher layers can drive their own
+  /// iterative walks with protocol-specific payloads.
+  struct RouteStep {
+    bool done = false;
+    NodeRef node;
+  };
+  RouteStep NextRouteStep(const Key& key) const;
+
+  /// True if this node currently owns `key` (key in (predecessor, self]).
+  /// With no predecessor the node claims the whole ring.
+  bool Owns(const Key& key) const noexcept;
+
+  // --- Oracle bootstrap (ChordRing / tests) -----------------------------
+
+  /// Install exact routing state directly. Used to stand up large rings
+  /// without simulating thousands of maintenance rounds.
+  void OracleWire(std::optional<NodeRef> predecessor, std::vector<NodeRef> successor_list);
+  void OracleSetFinger(unsigned index, const NodeRef& node) { fingers_.Set(index, node); }
+  void MarkAlive() { alive_ = true; }
+
+  // --- Actor ------------------------------------------------------------
+
+  void OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) override;
+
+ private:
+  friend class LookupCoordinator;
+
+  struct PendingLookup {
+    Key key;
+    LookupCallback callback;
+    std::size_t hops = 0;
+    std::size_t steps = 0;
+    std::size_t retries = 0;
+    NodeRef current;  ///< Hop currently being queried.
+    sim::EventHandle timeout;
+  };
+
+  void HandleLookupStep(sim::ActorId from, const LookupStepRequest& request);
+  void HandleLookupResponse(const LookupStepResponse& response);
+  void LookupSendStep(std::uint64_t request_id, const NodeRef& target);
+  void LookupStepTimedOut(std::uint64_t request_id);
+  void FinishLookup(std::uint64_t request_id, const NodeRef& owner);
+  void RestartLookup(std::uint64_t request_id);
+
+  void HandleStabilizeRequest(sim::ActorId from, const StabilizeRequest& request);
+  void HandleStabilizeResponse(const StabilizeResponse& response);
+  void HandleNotify(const NotifyMessage& notify);
+  void HandleLeave(const LeaveNotice& notice);
+
+  void DoStabilize();
+  void DoFixFingers();
+  void DoCheckPredecessor();
+  void ScheduleMaintenance();
+
+  void AdoptPredecessor(const NodeRef& candidate);
+  void EvictPeer(const NodeRef& peer);
+  bool IsConfirmedDead(const NodeRef& peer) const {
+    return confirmed_dead_.contains(peer.actor);
+  }
+
+  sim::Network& network_;
+  std::string address_;
+  NodeRef self_;
+  Options options_;
+
+  bool alive_ = false;
+  std::optional<NodeRef> predecessor_;
+  SuccessorList successors_;
+  FingerTable fingers_;
+  AppHandler* app_ = nullptr;
+
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingLookup> pending_lookups_;
+
+  // Peers this node has seen depart or time out. Gossiped routing state
+  // (merged successor lists, stale finger owners) is filtered against this
+  // set so confirmed-dead peers cannot re-enter local tables. Actor ids
+  // are never reused in a simulation, so the set is monotone-safe.
+  std::unordered_set<sim::ActorId> confirmed_dead_;
+
+  // Stabilize in flight: request id + timeout + who was asked.
+  std::optional<std::uint64_t> stabilize_request_;
+  NodeRef stabilize_target_;
+  sim::EventHandle stabilize_timeout_;
+
+  // check_predecessor() in flight.
+  std::optional<std::uint64_t> ping_request_;
+  NodeRef ping_target_;
+  sim::EventHandle ping_timeout_;
+
+  double stabilize_every_ms_ = 0.0;
+  double fix_fingers_every_ms_ = 0.0;
+  unsigned next_finger_ = 0;
+  std::function<void()> on_joined_;
+};
+
+}  // namespace peertrack::chord

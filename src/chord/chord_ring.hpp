@@ -1,0 +1,82 @@
+#pragma once
+// Ring harness: owns a set of ChordNodes and knows how to stand them up.
+//
+// Two bootstrap modes:
+//  * OracleBootstrap() — computes the exact ring (predecessors, successor
+//    lists, all 160 fingers) directly. Used by the experiment harnesses,
+//    where the paper's evaluation assumes a converged overlay and simulating
+//    thousands of maintenance rounds per sweep point would only add noise.
+//  * ProtocolBootstrap() — joins nodes through the real protocol and lets
+//    stabilization converge. Used by the protocol tests and the churn
+//    example.
+//
+// The ring also serves as the *test oracle*: ExpectedSuccessor() computes
+// ground-truth key ownership from the sorted id set.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chord/chord_node.hpp"
+#include "sim/network.hpp"
+
+namespace peertrack::chord {
+
+class ChordRing {
+ public:
+  struct Options {
+    ChordNode::Options node;
+    double stabilize_every_ms = 250.0;
+    double fix_fingers_every_ms = 50.0;
+  };
+
+  ChordRing(sim::Network& network, Options options);
+  explicit ChordRing(sim::Network& network) : ChordRing(network, Options{}) {}
+
+  /// Create a node object (registered with the network but not yet part of
+  /// the ring). Address doubles as the human-readable name.
+  ChordNode& AddNode(const std::string& address);
+
+  /// Wire every added node into a perfect converged ring instantly.
+  void OracleBootstrap();
+
+  /// Join every added node through the protocol: the first creates the
+  /// ring, the rest join sequentially; then maintenance runs until
+  /// `settle_ms` of simulated time has elapsed.
+  void ProtocolBootstrap(double settle_ms);
+
+  /// Join one more node through the protocol (network must be running —
+  /// caller advances the simulator).
+  ChordNode& ProtocolJoin(const std::string& address);
+
+  std::size_t NodeCount() const noexcept { return nodes_.size(); }
+  std::size_t AliveCount() const noexcept;
+
+  ChordNode& Node(std::size_t index) { return *nodes_[index]; }
+  const ChordNode& Node(std::size_t index) const { return *nodes_[index]; }
+  const std::vector<std::unique_ptr<ChordNode>>& Nodes() const noexcept { return nodes_; }
+
+  ChordNode* FindByActor(sim::ActorId actor) noexcept;
+
+  /// Ground truth: the alive node that should own `key`.
+  NodeRef ExpectedSuccessor(const Key& key) const;
+
+  /// The alive ChordNode that should own `key` (oracle; never null while
+  /// at least one node is alive).
+  ChordNode* ExpectedOwner(const Key& key);
+
+  /// True when every alive node's successor/predecessor agree with the
+  /// oracle ring (used by convergence tests).
+  bool IsConverged() const;
+
+  sim::Network& network() noexcept { return network_; }
+
+ private:
+  std::vector<NodeRef> SortedAlive() const;
+
+  sim::Network& network_;
+  Options options_;
+  std::vector<std::unique_ptr<ChordNode>> nodes_;
+};
+
+}  // namespace peertrack::chord

@@ -1,0 +1,154 @@
+#include "chord/dht.hpp"
+
+namespace peertrack::chord {
+
+namespace {
+
+struct DhtPutRequest final : sim::Message {
+  std::uint64_t request_id = 0;
+  Key key;
+  std::string value;
+  std::string_view TypeName() const noexcept override { return "dht.put_req"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 20 + value.size(); }
+};
+
+struct DhtPutAck final : sim::Message {
+  std::uint64_t request_id = 0;
+  std::string_view TypeName() const noexcept override { return "dht.put_ack"; }
+  std::size_t ApproxBytes() const noexcept override { return 8; }
+};
+
+struct DhtGetRequest final : sim::Message {
+  std::uint64_t request_id = 0;
+  Key key;
+  std::string_view TypeName() const noexcept override { return "dht.get_req"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 20; }
+};
+
+struct DhtGetResponse final : sim::Message {
+  std::uint64_t request_id = 0;
+  bool found = false;
+  std::string value;
+  std::string_view TypeName() const noexcept override { return "dht.get_resp"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 1 + value.size(); }
+};
+
+struct DhtMigrate final : sim::Message {
+  std::vector<std::pair<Key, std::string>> entries;
+  std::string_view TypeName() const noexcept override { return "dht.migrate"; }
+  std::size_t ApproxBytes() const noexcept override {
+    std::size_t bytes = 0;
+    for (const auto& [key, value] : entries) bytes += 20 + value.size();
+    return bytes;
+  }
+};
+
+}  // namespace
+
+DhtNode::DhtNode(ChordNode& chord) : chord_(chord) { chord_.SetAppHandler(this); }
+
+void DhtNode::Put(const Key& key, std::string value, PutCallback callback) {
+  const std::uint64_t request_id = next_request_id_++;
+  pending_puts_.emplace(request_id,
+                        PendingPut{key, std::move(value), std::move(callback)});
+  chord_.Lookup(key, [this, request_id](const NodeRef& owner, std::size_t) {
+    const auto it = pending_puts_.find(request_id);
+    if (it == pending_puts_.end()) return;
+    if (!owner.Valid()) {
+      PendingPut pending = std::move(it->second);
+      pending_puts_.erase(it);
+      if (pending.callback) pending.callback(false);
+      return;
+    }
+    auto request = std::make_unique<DhtPutRequest>();
+    request->request_id = request_id;
+    request->key = it->second.key;
+    request->value = it->second.value;
+    chord_.network().Send(chord_.Self().actor, owner.actor, std::move(request));
+  });
+}
+
+void DhtNode::Get(const Key& key, GetCallback callback) {
+  const std::uint64_t request_id = next_request_id_++;
+  pending_gets_.emplace(request_id, PendingGet{key, std::move(callback)});
+  chord_.Lookup(key, [this, request_id](const NodeRef& owner, std::size_t) {
+    const auto it = pending_gets_.find(request_id);
+    if (it == pending_gets_.end()) return;
+    if (!owner.Valid()) {
+      PendingGet pending = std::move(it->second);
+      pending_gets_.erase(it);
+      if (pending.callback) pending.callback(false, "");
+      return;
+    }
+    auto request = std::make_unique<DhtGetRequest>();
+    request->request_id = request_id;
+    request->key = it->second.key;
+    chord_.network().Send(chord_.Self().actor, owner.actor, std::move(request));
+  });
+}
+
+std::optional<std::string> DhtNode::LocalValue(const Key& key) const {
+  const auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DhtNode::OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
+  if (auto* put = dynamic_cast<DhtPutRequest*>(message.get())) {
+    store_[put->key] = std::move(put->value);
+    auto ack = std::make_unique<DhtPutAck>();
+    ack->request_id = put->request_id;
+    chord_.network().Send(chord_.Self().actor, from, std::move(ack));
+    return;
+  }
+  if (auto* ack = dynamic_cast<DhtPutAck*>(message.get())) {
+    const auto it = pending_puts_.find(ack->request_id);
+    if (it == pending_puts_.end()) return;
+    PendingPut pending = std::move(it->second);
+    pending_puts_.erase(it);
+    if (pending.callback) pending.callback(true);
+    return;
+  }
+  if (auto* get = dynamic_cast<DhtGetRequest*>(message.get())) {
+    auto response = std::make_unique<DhtGetResponse>();
+    response->request_id = get->request_id;
+    if (const auto it = store_.find(get->key); it != store_.end()) {
+      response->found = true;
+      response->value = it->second;
+    }
+    chord_.network().Send(chord_.Self().actor, from, std::move(response));
+    return;
+  }
+  if (auto* response = dynamic_cast<DhtGetResponse*>(message.get())) {
+    const auto it = pending_gets_.find(response->request_id);
+    if (it == pending_gets_.end()) return;
+    PendingGet pending = std::move(it->second);
+    pending_gets_.erase(it);
+    if (pending.callback) pending.callback(response->found, response->value);
+    return;
+  }
+  if (auto* migrate = dynamic_cast<DhtMigrate*>(message.get())) {
+    for (auto& [key, value] : migrate->entries) {
+      store_[key] = std::move(value);
+    }
+    return;
+  }
+}
+
+void DhtNode::OnRangeTransfer(const Key& lo, const Key& hi, const NodeRef& new_owner) {
+  if (new_owner.actor == chord_.Self().actor) return;
+  auto migrate = std::make_unique<DhtMigrate>();
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->first.InHalfOpenLoHi(lo, hi)) {
+      migrate->entries.emplace_back(it->first, std::move(it->second));
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!migrate->entries.empty()) {
+    chord_.network().Send(chord_.Self().actor, new_owner.actor, std::move(migrate));
+  }
+}
+
+}  // namespace peertrack::chord

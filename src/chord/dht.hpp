@@ -1,0 +1,61 @@
+#pragma once
+// Generic key/value facade over the Chord overlay.
+//
+// The tracking layer plugs its own application logic into ChordNode; this
+// facade is the classic DHT interface (put/get with owner-resolved
+// placement and churn migration) for users who want the overlay substrate
+// without the traceability stack — and it doubles as an end-to-end test of
+// ChordNode's routing and range-transfer hooks.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "chord/chord_node.hpp"
+
+namespace peertrack::chord {
+
+class DhtNode final : public ChordNode::AppHandler {
+ public:
+  explicit DhtNode(ChordNode& chord);
+
+  ChordNode& chord() noexcept { return chord_; }
+
+  using PutCallback = std::function<void(bool ok)>;
+  using GetCallback = std::function<void(bool found, const std::string& value)>;
+
+  /// Store `value` under `key` at the key's owner (resolved via lookup).
+  void Put(const Key& key, std::string value, PutCallback callback = {});
+
+  /// Fetch the value stored under `key` from its owner.
+  void Get(const Key& key, GetCallback callback);
+
+  /// Entries currently stored on this node.
+  std::size_t StoredEntries() const noexcept { return store_.size(); }
+  std::optional<std::string> LocalValue(const Key& key) const;
+
+  // --- AppHandler -----------------------------------------------------------
+
+  void OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) override;
+  void OnRangeTransfer(const Key& lo, const Key& hi, const NodeRef& new_owner) override;
+
+ private:
+  struct PendingPut {
+    Key key;
+    std::string value;
+    PutCallback callback;
+  };
+  struct PendingGet {
+    Key key;
+    GetCallback callback;
+  };
+
+  ChordNode& chord_;
+  std::unordered_map<hash::UInt160, std::string, hash::UInt160Hasher> store_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingPut> pending_puts_;
+  std::unordered_map<std::uint64_t, PendingGet> pending_gets_;
+};
+
+}  // namespace peertrack::chord

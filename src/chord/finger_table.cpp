@@ -1,0 +1,34 @@
+#include "chord/finger_table.hpp"
+
+namespace peertrack::chord {
+
+std::size_t FingerTable::Evict(const NodeRef& node) noexcept {
+  std::size_t cleared = 0;
+  for (auto& finger : fingers_) {
+    if (finger && finger->actor == node.actor) {
+      finger.reset();
+      ++cleared;
+    }
+  }
+  return cleared;
+}
+
+std::optional<NodeRef> FingerTable::ClosestPreceding(const Key& key) const noexcept {
+  for (unsigned i = kBits; i-- > 0;) {
+    const auto& finger = fingers_[i];
+    if (finger && finger->id.InOpenInterval(owner_, key)) {
+      return finger;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t FingerTable::PopulatedCount() const noexcept {
+  std::size_t count = 0;
+  for (const auto& finger : fingers_) {
+    if (finger) ++count;
+  }
+  return count;
+}
+
+}  // namespace peertrack::chord

@@ -1,0 +1,48 @@
+#pragma once
+// Chord finger table.
+//
+// finger[i] is the first node succeeding (owner + 2^i) mod 2^160, for
+// i in [0, 160). Fingers may be stale or unset; routing falls back to the
+// successor list. ClosestPreceding scans from the longest finger down, as
+// in the Chord paper.
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+#include "chord/types.hpp"
+
+namespace peertrack::chord {
+
+class FingerTable {
+ public:
+  static constexpr unsigned kBits = 160;
+
+  explicit FingerTable(const Key& owner) noexcept : owner_(owner) {}
+
+  const Key& owner() const noexcept { return owner_; }
+
+  /// The ring point finger i should cover: owner + 2^i.
+  Key Start(unsigned i) const noexcept { return owner_ + Key::Pow2(i); }
+
+  void Set(unsigned i, const NodeRef& node) noexcept { fingers_[i] = node; }
+  void Clear(unsigned i) noexcept { fingers_[i].reset(); }
+  const std::optional<NodeRef>& Get(unsigned i) const noexcept { return fingers_[i]; }
+
+  /// Remove every finger pointing at `node` (used when a peer is detected
+  /// dead). Returns how many entries were cleared.
+  std::size_t Evict(const NodeRef& node) noexcept;
+
+  /// Highest-index finger whose id lies strictly inside (owner, key);
+  /// nullopt when no finger precedes the key.
+  std::optional<NodeRef> ClosestPreceding(const Key& key) const noexcept;
+
+  /// Number of populated entries.
+  std::size_t PopulatedCount() const noexcept;
+
+ private:
+  Key owner_;
+  std::array<std::optional<NodeRef>, kBits> fingers_;
+};
+
+}  // namespace peertrack::chord

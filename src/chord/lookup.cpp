@@ -1,0 +1,140 @@
+// Iterative lookup state machine for ChordNode.
+//
+// The initiator drives the walk: it asks the closest preceding node it
+// knows, receives either the final owner or a better next hop, and repeats.
+// `hops` counts remote step requests, which is what the paper's
+// O(log2 Nn)-hops routing-cost analysis refers to. A hop that fails to
+// answer within the timeout is evicted from local routing state and the
+// lookup restarts (bounded retries).
+
+#include "chord/chord_node.hpp"
+#include "util/logging.hpp"
+
+namespace peertrack::chord {
+
+void ChordNode::Lookup(const Key& key, LookupCallback callback) {
+  if (!alive_) {
+    callback(NodeRef{}, 0);
+    return;
+  }
+  const RouteStep first = NextRouteStep(key);
+  if (first.done) {
+    network_.metrics().RecordLookupHops(0);
+    callback(first.node, 0);
+    return;
+  }
+  const std::uint64_t request_id = next_request_id_++;
+  PendingLookup pending;
+  pending.key = key;
+  pending.callback = std::move(callback);
+  pending_lookups_.emplace(request_id, std::move(pending));
+  LookupSendStep(request_id, first.node);
+}
+
+void ChordNode::LookupSendStep(std::uint64_t request_id, const NodeRef& target) {
+  auto it = pending_lookups_.find(request_id);
+  if (it == pending_lookups_.end()) return;
+  PendingLookup& pending = it->second;
+
+  if (pending.steps >= options_.max_lookup_steps) {
+    util::LogWarn("{}: lookup for {} exceeded step limit", self_.Describe(),
+                  pending.key.ToShortHex());
+    FinishLookup(request_id, NodeRef{});
+    return;
+  }
+  ++pending.steps;
+  ++pending.hops;
+  pending.current = target;
+
+  auto request = std::make_unique<LookupStepRequest>();
+  request->request_id = request_id;
+  request->key = pending.key;
+  network_.Send(self_.actor, target.actor, std::move(request));
+
+  pending.timeout.Cancel();
+  pending.timeout = network_.simulator().ScheduleAfter(
+      options_.request_timeout_ms,
+      [this, request_id] { LookupStepTimedOut(request_id); });
+}
+
+void ChordNode::HandleLookupStep(sim::ActorId from, const LookupStepRequest& request) {
+  const RouteStep step = NextRouteStep(request.key);
+  auto response = std::make_unique<LookupStepResponse>();
+  response->request_id = request.request_id;
+  if (step.done) {
+    response->done = true;
+    response->node = step.node;
+  } else if (step.node.actor == self_.actor) {
+    // No strictly-closer peer known; our successor is the best answer we
+    // can give (prevents routing loops on sparse tables).
+    response->done = true;
+    response->node = Successor();
+  } else {
+    response->done = false;
+    response->node = step.node;
+  }
+  network_.Send(self_.actor, from, std::move(response));
+}
+
+void ChordNode::HandleLookupResponse(const LookupStepResponse& response) {
+  auto it = pending_lookups_.find(response.request_id);
+  if (it == pending_lookups_.end()) return;  // Late reply after timeout.
+  PendingLookup& pending = it->second;
+  pending.timeout.Cancel();
+
+  if (response.done) {
+    FinishLookup(response.request_id, response.node);
+    return;
+  }
+  if (response.node.actor == pending.current.actor ||
+      response.node.actor == self_.actor) {
+    // The remote peer could not make progress either; accept its view of
+    // the key's owner by asking it directly as a final step.
+    FinishLookup(response.request_id, response.node);
+    return;
+  }
+  LookupSendStep(response.request_id, response.node);
+}
+
+void ChordNode::LookupStepTimedOut(std::uint64_t request_id) {
+  auto it = pending_lookups_.find(request_id);
+  if (it == pending_lookups_.end()) return;
+  PendingLookup& pending = it->second;
+
+  // The queried hop is unresponsive: purge it from local routing state so
+  // the restart routes around it.
+  EvictPeer(pending.current);
+  network_.metrics().Bump("chord.lookup_hop_timeout");
+
+  if (pending.retries >= options_.lookup_retries) {
+    FinishLookup(request_id, NodeRef{});
+    return;
+  }
+  ++pending.retries;
+  RestartLookup(request_id);
+}
+
+void ChordNode::RestartLookup(std::uint64_t request_id) {
+  auto it = pending_lookups_.find(request_id);
+  if (it == pending_lookups_.end()) return;
+  PendingLookup& pending = it->second;
+
+  const RouteStep first = NextRouteStep(pending.key);
+  if (first.done) {
+    FinishLookup(request_id, first.node);
+    return;
+  }
+  LookupSendStep(request_id, first.node);
+}
+
+void ChordNode::FinishLookup(std::uint64_t request_id, const NodeRef& owner) {
+  auto it = pending_lookups_.find(request_id);
+  if (it == pending_lookups_.end()) return;
+  PendingLookup pending = std::move(it->second);
+  pending_lookups_.erase(it);
+  pending.timeout.Cancel();
+  if (owner.Valid()) network_.metrics().RecordLookupHops(pending.hops);
+  pending.callback(owner, pending.hops);
+}
+
+}  // namespace peertrack::chord

@@ -1,0 +1,90 @@
+#pragma once
+// Chord wire messages.
+//
+// Sizes are approximations of a compact binary encoding: 20 bytes per ring
+// id, 4 per actor address, 8 per integer field. Only relative volumes
+// matter for the experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/types.hpp"
+#include "sim/network.hpp"
+
+namespace peertrack::chord {
+
+constexpr std::size_t kNodeRefBytes = 24;  // 20-byte id + 4-byte address.
+
+/// One step of an iterative lookup: "route `key`".
+struct LookupStepRequest final : sim::Message {
+  std::uint64_t request_id = 0;
+  Key key;
+
+  std::string_view TypeName() const noexcept override { return "chord.lookup_req"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 20; }
+};
+
+/// Reply to a lookup step: either the final successor of the key (done) or
+/// the next node to ask.
+struct LookupStepResponse final : sim::Message {
+  std::uint64_t request_id = 0;
+  bool done = false;
+  NodeRef node;  ///< Successor when done, otherwise next hop.
+
+  std::string_view TypeName() const noexcept override { return "chord.lookup_resp"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 1 + kNodeRefBytes; }
+};
+
+/// stabilize(): ask a successor for its predecessor and successor list.
+struct StabilizeRequest final : sim::Message {
+  std::uint64_t request_id = 0;
+
+  std::string_view TypeName() const noexcept override { return "chord.stabilize_req"; }
+  std::size_t ApproxBytes() const noexcept override { return 8; }
+};
+
+struct StabilizeResponse final : sim::Message {
+  std::uint64_t request_id = 0;
+  bool has_predecessor = false;
+  NodeRef predecessor;
+  std::vector<NodeRef> successors;
+
+  std::string_view TypeName() const noexcept override { return "chord.stabilize_resp"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return 8 + 1 + kNodeRefBytes + successors.size() * kNodeRefBytes;
+  }
+};
+
+/// notify(n'): "I believe I am your predecessor".
+struct NotifyMessage final : sim::Message {
+  NodeRef candidate;
+
+  std::string_view TypeName() const noexcept override { return "chord.notify"; }
+  std::size_t ApproxBytes() const noexcept override { return kNodeRefBytes; }
+};
+
+/// Graceful departure: tells the successor to adopt `new_predecessor` and
+/// the predecessor to adopt `new_successor`.
+struct LeaveNotice final : sim::Message {
+  NodeRef departing;
+  bool to_successor = false;  ///< True when sent to the successor side.
+  NodeRef replacement;        ///< New predecessor (to successor) or successor.
+
+  std::string_view TypeName() const noexcept override { return "chord.leave"; }
+  std::size_t ApproxBytes() const noexcept override { return 2 * kNodeRefBytes + 1; }
+};
+
+/// Liveness probe used by failure detection during stabilization.
+struct PingRequest final : sim::Message {
+  std::uint64_t request_id = 0;
+  std::string_view TypeName() const noexcept override { return "chord.ping_req"; }
+  std::size_t ApproxBytes() const noexcept override { return 8; }
+};
+
+struct PingResponse final : sim::Message {
+  std::uint64_t request_id = 0;
+  std::string_view TypeName() const noexcept override { return "chord.ping_resp"; }
+  std::size_t ApproxBytes() const noexcept override { return 8; }
+};
+
+}  // namespace peertrack::chord

@@ -1,0 +1,37 @@
+#include "chord/successor_list.hpp"
+
+#include <algorithm>
+
+namespace peertrack::chord {
+
+bool SuccessorList::Offer(const NodeRef& node) {
+  if (!node.Valid() || node.id == owner_) return false;
+  const Key distance = node.id - owner_;
+  auto position = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const NodeRef& e) {
+                                 return (e.id - owner_) >= distance;
+                               });
+  if (position != entries_.end() && position->id == node.id) return false;
+  entries_.insert(position, node);
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+  return true;
+}
+
+void SuccessorList::Merge(const std::vector<NodeRef>& peers) {
+  for (const auto& peer : peers) Offer(peer);
+}
+
+bool SuccessorList::Remove(const NodeRef& node) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const NodeRef& e) { return e.actor == node.actor; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void SuccessorList::Assign(std::vector<NodeRef> entries) {
+  entries_ = std::move(entries);
+  if (entries_.size() > capacity_) entries_.resize(capacity_);
+}
+
+}  // namespace peertrack::chord

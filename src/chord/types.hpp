@@ -1,0 +1,26 @@
+#pragma once
+// Shared Chord value types.
+
+#include <optional>
+#include <string>
+
+#include "hash/uint160.hpp"
+#include "sim/metrics.hpp"
+
+namespace peertrack::chord {
+
+using Key = hash::UInt160;
+
+/// A (ring id, transport address) pair — everything a peer needs to contact
+/// another peer directly.
+struct NodeRef {
+  Key id;
+  sim::ActorId actor = sim::kInvalidActor;
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+
+  bool Valid() const noexcept { return actor != sim::kInvalidActor; }
+  std::string Describe() const { return id.ToShortHex(); }
+};
+
+}  // namespace peertrack::chord

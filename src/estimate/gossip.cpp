@@ -1,0 +1,110 @@
+#include "estimate/gossip.hpp"
+
+#include <algorithm>
+
+namespace peertrack::estimate {
+
+namespace {
+
+struct PushPullRequest final : sim::Message {
+  double value = 0.0;
+  std::string_view TypeName() const noexcept override { return "gossip.push"; }
+  std::size_t ApproxBytes() const noexcept override { return 8; }
+};
+
+struct PushPullResponse final : sim::Message {
+  double value = 0.0;
+  std::string_view TypeName() const noexcept override { return "gossip.pull"; }
+  std::size_t ApproxBytes() const noexcept override { return 8; }
+};
+
+}  // namespace
+
+GossipAgent::GossipAgent(sim::Network& network, util::Rng& rng)
+    : network_(network), rng_(rng), self_(network.Register(*this)) {}
+
+void GossipAgent::Start(double round_ms, std::size_t rounds) {
+  round_ms_ = round_ms;
+  rounds_left_ = rounds;
+  // Desynchronise round starts so exchanges interleave like a real
+  // deployment rather than phase-locking.
+  network_.simulator().ScheduleAfter(rng_.NextDouble(0.0, round_ms), [this] {
+    DoRound();
+  });
+}
+
+void GossipAgent::DoRound() {
+  if (rounds_left_ == 0) return;
+  --rounds_left_;
+  if (!peers_.empty()) {
+    const sim::ActorId peer =
+        peers_[static_cast<std::size_t>(rng_.NextBelow(peers_.size()))];
+    auto request = std::make_unique<PushPullRequest>();
+    request->value = value_;
+    network_.Send(self_, peer, std::move(request));
+  }
+  if (rounds_left_ > 0) {
+    network_.simulator().ScheduleAfter(round_ms_, [this] { DoRound(); });
+  }
+}
+
+void GossipAgent::OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
+  if (auto* push = dynamic_cast<PushPullRequest*>(message.get())) {
+    auto response = std::make_unique<PushPullResponse>();
+    const double average = (value_ + push->value) / 2.0;
+    response->value = average;
+    value_ = average;
+    network_.Send(self_, from, std::move(response));
+    return;
+  }
+  if (auto* pull = dynamic_cast<PushPullResponse*>(message.get())) {
+    // The responder already averaged; adopt its result to conserve mass.
+    value_ = pull->value;
+    return;
+  }
+}
+
+double GossipAgent::EstimatedSize() const noexcept {
+  if (value_ <= 0.0) return 1.0;
+  return std::max(1.0, 1.0 / value_);
+}
+
+SizeEstimationEpoch::SizeEstimationEpoch(sim::Network& network, util::Rng& rng,
+                                         std::size_t n) {
+  agents_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agents_.push_back(std::make_unique<GossipAgent>(network, rng));
+  }
+  std::vector<sim::ActorId> everyone;
+  everyone.reserve(n);
+  for (const auto& agent : agents_) everyone.push_back(agent->Id());
+  for (auto& agent : agents_) {
+    std::vector<sim::ActorId> peers;
+    peers.reserve(n - 1);
+    for (const sim::ActorId id : everyone) {
+      if (id != agent->Id()) peers.push_back(id);
+    }
+    agent->SetPeers(std::move(peers));
+  }
+  if (!agents_.empty()) agents_.front()->SetValue(1.0);
+}
+
+void SizeEstimationEpoch::Start(double round_ms, std::size_t rounds) {
+  for (auto& agent : agents_) agent->Start(round_ms, rounds);
+}
+
+std::vector<double> SizeEstimationEpoch::Estimates() const {
+  std::vector<double> estimates;
+  estimates.reserve(agents_.size());
+  for (const auto& agent : agents_) estimates.push_back(agent->EstimatedSize());
+  return estimates;
+}
+
+double SizeEstimationEpoch::MeanEstimate() const {
+  const auto estimates = Estimates();
+  double sum = 0.0;
+  for (const double e : estimates) sum += e;
+  return estimates.empty() ? 0.0 : sum / static_cast<double>(estimates.size());
+}
+
+}  // namespace peertrack::estimate

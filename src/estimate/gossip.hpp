@@ -1,0 +1,72 @@
+#pragma once
+// Epidemic network-size estimation (Jelasity & Montresor, ICDCS'04 — the
+// paper's reference [14] for obtaining Nn).
+//
+// Push-pull averaging: one initiator starts with value 1, everyone else
+// with 0. Each round every node exchanges values with a uniformly random
+// peer and both adopt the average. The field's mean is invariant (1/N), so
+// after O(log N) rounds every node's value concentrates around 1/N and
+// 1/value estimates the network size — which drives Lp adaptation without
+// any central census.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::estimate {
+
+/// One node's participant state in the averaging protocol.
+class GossipAgent final : public sim::Actor {
+ public:
+  GossipAgent(sim::Network& network, util::Rng& rng);
+
+  sim::ActorId Id() const noexcept { return self_; }
+  double Value() const noexcept { return value_; }
+  void SetValue(double value) noexcept { value_ = value; }
+
+  /// Peers this agent may gossip with (overlay neighbours; in PeerTrack
+  /// these would be the Chord successor list + fingers).
+  void SetPeers(std::vector<sim::ActorId> peers) { peers_ = std::move(peers); }
+
+  /// Start periodic rounds: every `round_ms`, exchange with one random
+  /// peer, `rounds` times in total.
+  void Start(double round_ms, std::size_t rounds);
+
+  /// Current size estimate (1 / value); clamped to >= 1.
+  double EstimatedSize() const noexcept;
+
+  void OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) override;
+
+ private:
+  void DoRound();
+
+  sim::Network& network_;
+  util::Rng& rng_;
+  sim::ActorId self_;
+  double value_ = 0.0;
+  std::vector<sim::ActorId> peers_;
+  std::size_t rounds_left_ = 0;
+  double round_ms_ = 0.0;
+};
+
+/// Convenience harness: builds `n` agents on the given network with
+/// full-membership peer lists, runs `rounds` rounds, and reports the
+/// per-node estimates.
+class SizeEstimationEpoch {
+ public:
+  SizeEstimationEpoch(sim::Network& network, util::Rng& rng, std::size_t n);
+
+  /// Schedule the epoch; call network.simulator().Run() afterwards.
+  void Start(double round_ms, std::size_t rounds);
+
+  std::vector<double> Estimates() const;
+  double MeanEstimate() const;
+
+ private:
+  std::vector<std::unique_ptr<GossipAgent>> agents_;
+};
+
+}  // namespace peertrack::estimate

@@ -1,0 +1,70 @@
+#include "hash/keyspace.hpp"
+
+namespace peertrack::hash {
+
+UInt160 ObjectKey(std::string_view raw_object_id) noexcept {
+  return UInt160::FromDigest(Sha1Hash(raw_object_id));
+}
+
+UInt160 NodeKey(std::string_view address) noexcept {
+  return UInt160::FromDigest(Sha1Hash(address));
+}
+
+std::string PrefixString(const UInt160& hashed_object_id, unsigned length) {
+  std::string out;
+  out.reserve(length);
+  for (unsigned i = 0; i < length && i < 160; ++i) {
+    out.push_back(hashed_object_id.BitFromMsb(i) ? '1' : '0');
+  }
+  return out;
+}
+
+std::string Prefix::ToString() const {
+  std::string out;
+  out.reserve(length);
+  for (unsigned i = 0; i < length; ++i) {
+    out.push_back(((bits >> (length - 1 - i)) & 1) ? '1' : '0');
+  }
+  return out;
+}
+
+Prefix Prefix::FromString(std::string_view text) noexcept {
+  Prefix p;
+  if (text.size() > 64) return p;
+  for (char c : text) {
+    p.bits = (p.bits << 1) | (c == '1' ? 1u : 0u);
+    ++p.length;
+  }
+  return p;
+}
+
+Prefix Prefix::OfKey(const UInt160& key, unsigned length) noexcept {
+  Prefix p;
+  p.length = length > 64 ? 64 : length;
+  p.bits = key.PrefixBits(p.length);
+  return p;
+}
+
+Prefix Prefix::Parent() const noexcept {
+  Prefix p;
+  p.length = length - 1;
+  p.bits = bits >> 1;
+  return p;
+}
+
+Prefix Prefix::Child(bool bit) const noexcept {
+  Prefix p;
+  p.length = length + 1;
+  p.bits = (bits << 1) | (bit ? 1u : 0u);
+  return p;
+}
+
+bool Prefix::Matches(const UInt160& key) const noexcept {
+  return key.PrefixBits(length) == bits;
+}
+
+UInt160 GroupKey(const Prefix& prefix) noexcept {
+  return UInt160::FromDigest(Sha1Hash(prefix.ToString()));
+}
+
+}  // namespace peertrack::hash

@@ -1,0 +1,77 @@
+#pragma once
+// Key derivation: how objects, nodes, and prefix groups map onto the ring.
+//
+// Per the paper (Section III footnote 1): object raw ids and node addresses
+// are hashed with SHA-1 so both live in the same 160-bit identifier space.
+// Group gateways are found by hashing the *textual* prefix of the hashed
+// object id ("objects belonging to the group '00' will be indexed in the
+// node hash('00')"), so a group key does NOT share the prefix of its member
+// objects — it is an independent uniformly random point on the ring, which
+// is what gives group indexing its load-spreading behaviour.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hash/uint160.hpp"
+
+namespace peertrack::hash {
+
+/// Key for an object: SHA1(raw id).
+UInt160 ObjectKey(std::string_view raw_object_id) noexcept;
+
+/// Key for a node: SHA1(address). A port-style discriminator keeps two
+/// logical nodes on one host distinct.
+UInt160 NodeKey(std::string_view address) noexcept;
+
+/// A group's identity is the first `length` bits of the hashed object id,
+/// rendered as a '0'/'1' string (so prefix "00" and "000" are distinct
+/// groups, exactly as in the paper's example).
+std::string PrefixString(const UInt160& hashed_object_id, unsigned length);
+
+/// Prefix value + length as a compact pair (used as map keys internally).
+struct Prefix {
+  std::uint64_t bits = 0;   ///< Left-aligned within `length` (value of the prefix).
+  unsigned length = 0;      ///< Number of bits; <= 64.
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  /// '0'/'1' rendering, e.g. {bits=0b101, length=3} -> "101".
+  std::string ToString() const;
+
+  /// Parse a '0'/'1' string.
+  static Prefix FromString(std::string_view text) noexcept;
+
+  /// Prefix of an object's hashed id.
+  static Prefix OfKey(const UInt160& key, unsigned length) noexcept;
+
+  /// Parent prefix (one bit shorter). Precondition: length > 0.
+  Prefix Parent() const noexcept;
+
+  /// Child prefixes (one bit longer, appended bit 0/1). Precondition:
+  /// length < 64.
+  Prefix Child(bool bit) const noexcept;
+
+  /// True when `key`'s hashed id starts with this prefix.
+  bool Matches(const UInt160& key) const noexcept;
+};
+
+struct PrefixHasher {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    std::uint64_t state = p.bits * 0x9e3779b97f4a7c15ULL + p.length;
+    return static_cast<std::size_t>(util_mix(state));
+  }
+
+ private:
+  static std::uint64_t util_mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Gateway key of a group: SHA1(prefix string).
+UInt160 GroupKey(const Prefix& prefix) noexcept;
+
+}  // namespace peertrack::hash

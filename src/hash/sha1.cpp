@@ -1,0 +1,140 @@
+#include "hash/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace peertrack::hash {
+
+namespace {
+
+constexpr std::uint32_t Rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+Sha1::Sha1() noexcept { Reset(); }
+
+void Sha1::Reset() noexcept {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+Sha1& Sha1::Update(std::string_view text) noexcept {
+  return Update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1& Sha1::Update(std::span<const std::uint8_t> data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - offset >= 64) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+  return *this;
+}
+
+void Sha1::ProcessBlock(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = Rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = Rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::Finish() noexcept {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
+  // message length.
+  const std::uint8_t one = 0x80;
+  Update(std::span<const std::uint8_t>(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    Update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  Update(std::span<const std::uint8_t>(length_bytes, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1Hash(std::string_view text) noexcept {
+  return Sha1().Update(text).Finish();
+}
+
+Sha1Digest Sha1Hash(std::span<const std::uint8_t> data) noexcept {
+  return Sha1().Update(data).Finish();
+}
+
+std::string ToHex(const Sha1Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace peertrack::hash

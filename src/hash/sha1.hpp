@@ -1,0 +1,53 @@
+#pragma once
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// The paper hashes object ids and node addresses with SHA-1 so that both
+// live in the same 160-bit Chord keyspace. SHA-1's cryptographic weakness
+// is irrelevant here — only its uniform dispersion matters — but we
+// implement the real algorithm (validated against the FIPS test vectors in
+// tests/hash_sha1_test.cpp) so keys match what a deployment using standard
+// tooling would compute.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace peertrack::hash {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1. Typical use: Sha1().Update(data).Finish().
+class Sha1 {
+ public:
+  Sha1() noexcept;
+
+  /// Absorb bytes; may be called repeatedly.
+  Sha1& Update(std::span<const std::uint8_t> data) noexcept;
+  Sha1& Update(std::string_view text) noexcept;
+
+  /// Pad and produce the digest. The object must not be reused afterwards
+  /// without Reset().
+  Sha1Digest Finish() noexcept;
+
+  void Reset() noexcept;
+
+ private:
+  void ProcessBlock(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience.
+Sha1Digest Sha1Hash(std::string_view text) noexcept;
+Sha1Digest Sha1Hash(std::span<const std::uint8_t> data) noexcept;
+
+/// Lowercase hex rendering of a digest.
+std::string ToHex(const Sha1Digest& digest);
+
+}  // namespace peertrack::hash

@@ -1,0 +1,142 @@
+#include "hash/uint160.hpp"
+
+namespace peertrack::hash {
+
+UInt160 UInt160::FromDigest(const Sha1Digest& digest) noexcept {
+  Words words{};
+  for (int i = 0; i < 5; ++i) {
+    words[i] = (static_cast<std::uint32_t>(digest[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(digest[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(digest[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(digest[i * 4 + 3]);
+  }
+  return UInt160(words);
+}
+
+UInt160 UInt160::FromHex(std::string_view hex) noexcept {
+  if (hex.size() > 40) return UInt160();
+  Words words{};
+  // Right-align: the last hex digit is the least-significant nibble.
+  unsigned nibble_index = 0;  // 0 = least significant nibble.
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it, ++nibble_index) {
+    const char c = *it;
+    std::uint32_t value;
+    if (c >= '0' && c <= '9') {
+      value = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return UInt160();
+    }
+    const unsigned word = 4 - nibble_index / 8;
+    const unsigned shift = (nibble_index % 8) * 4;
+    words[word] |= value << shift;
+  }
+  return UInt160(words);
+}
+
+UInt160 UInt160::Pow2(unsigned k) noexcept {
+  if (k >= 160) return UInt160();
+  Words words{};
+  const unsigned word = 4 - k / 32;
+  words[word] = 1u << (k % 32);
+  return UInt160(words);
+}
+
+UInt160 UInt160::Max() noexcept {
+  Words words;
+  words.fill(0xFFFFFFFFu);
+  return UInt160(words);
+}
+
+UInt160 UInt160::operator+(const UInt160& rhs) const noexcept {
+  Words out{};
+  std::uint64_t carry = 0;
+  for (int i = 4; i >= 0; --i) {
+    const std::uint64_t sum =
+        static_cast<std::uint64_t>(words_[i]) + rhs.words_[i] + carry;
+    out[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  return UInt160(out);
+}
+
+UInt160 UInt160::operator-(const UInt160& rhs) const noexcept {
+  Words out{};
+  std::int64_t borrow = 0;
+  for (int i = 4; i >= 0; --i) {
+    const std::int64_t diff = static_cast<std::int64_t>(words_[i]) -
+                              static_cast<std::int64_t>(rhs.words_[i]) - borrow;
+    if (diff < 0) {
+      out[i] = static_cast<std::uint32_t>(diff + (std::int64_t{1} << 32));
+      borrow = 1;
+    } else {
+      out[i] = static_cast<std::uint32_t>(diff);
+      borrow = 0;
+    }
+  }
+  return UInt160(out);
+}
+
+bool UInt160::BitFromMsb(unsigned index) const noexcept {
+  const unsigned word = index / 32;
+  const unsigned bit = 31 - index % 32;
+  return (words_[word] >> bit) & 1u;
+}
+
+std::uint64_t UInt160::PrefixBits(unsigned bits) const noexcept {
+  if (bits == 0) return 0;
+  if (bits > 64) bits = 64;
+  const std::uint64_t high64 =
+      (static_cast<std::uint64_t>(words_[0]) << 32) | words_[1];
+  return high64 >> (64 - bits);
+}
+
+bool UInt160::InOpenInterval(const UInt160& lo, const UInt160& hi) const noexcept {
+  if (lo == hi) {
+    // Degenerate whole-ring interval: everything except the endpoint.
+    return *this != lo;
+  }
+  if (lo < hi) return lo < *this && *this < hi;
+  return *this > lo || *this < hi;  // Interval wraps past zero.
+}
+
+bool UInt160::InHalfOpenLoHi(const UInt160& lo, const UInt160& hi) const noexcept {
+  if (lo == hi) return true;  // Whole ring, endpoint included.
+  if (lo < hi) return lo < *this && *this <= hi;
+  return *this > lo || *this <= hi;
+}
+
+bool UInt160::IsZero() const noexcept {
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::string UInt160::ToHex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (auto w : words_) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(w >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string UInt160::ToShortHex() const { return ToHex().substr(0, 10); }
+
+std::uint64_t UInt160::Fold64() const noexcept {
+  std::uint64_t acc = 0xcbf29ce484222325ULL;
+  for (auto w : words_) {
+    acc ^= w;
+    acc *= 0x100000001b3ULL;
+  }
+  return acc;
+}
+
+}  // namespace peertrack::hash

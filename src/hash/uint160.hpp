@@ -1,0 +1,95 @@
+#pragma once
+// 160-bit unsigned integers on the Chord identifier ring.
+//
+// Chord identifiers are SHA-1 digests interpreted as big-endian 160-bit
+// integers mod 2^160. UInt160 is a value type with the ring operations the
+// protocol needs: wrap-around add/subtract, 2^k offsets for finger targets,
+// half-open/closed interval membership on the ring, prefix extraction for
+// the paper's group-indexing scheme, and distance metrics.
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hash/sha1.hpp"
+
+namespace peertrack::hash {
+
+class UInt160 {
+ public:
+  /// Five 32-bit limbs, most-significant first (word_[0] holds bits 159..128).
+  using Words = std::array<std::uint32_t, 5>;
+
+  constexpr UInt160() noexcept : words_{} {}
+  constexpr explicit UInt160(std::uint64_t low) noexcept : words_{} {
+    words_[3] = static_cast<std::uint32_t>(low >> 32);
+    words_[4] = static_cast<std::uint32_t>(low);
+  }
+  constexpr explicit UInt160(const Words& words) noexcept : words_(words) {}
+
+  /// Big-endian interpretation of a SHA-1 digest.
+  static UInt160 FromDigest(const Sha1Digest& digest) noexcept;
+
+  /// Parse up to 40 hex digits (shorter input is right-aligned / zero
+  /// extended). Returns zero on invalid characters.
+  static UInt160 FromHex(std::string_view hex) noexcept;
+
+  /// 2^k for k in [0, 160); k >= 160 yields zero (2^160 ≡ 0 mod 2^160).
+  static UInt160 Pow2(unsigned k) noexcept;
+
+  static constexpr UInt160 Zero() noexcept { return UInt160(); }
+  static UInt160 Max() noexcept;
+
+  const Words& words() const noexcept { return words_; }
+
+  auto operator<=>(const UInt160& other) const noexcept = default;
+
+  /// Ring arithmetic (mod 2^160).
+  UInt160 operator+(const UInt160& rhs) const noexcept;
+  UInt160 operator-(const UInt160& rhs) const noexcept;
+  UInt160& operator+=(const UInt160& rhs) noexcept { return *this = *this + rhs; }
+  UInt160& operator-=(const UInt160& rhs) noexcept { return *this = *this - rhs; }
+
+  /// Clockwise distance from `from` to this id on the ring.
+  UInt160 DistanceFrom(const UInt160& from) const noexcept { return *this - from; }
+
+  /// Bit at position `index` counted from the most-significant bit
+  /// (index 0 = bit 159). Precondition: index < 160.
+  bool BitFromMsb(unsigned index) const noexcept;
+
+  /// The top `bits` bits as an integer (bits <= 64). bits == 0 returns 0.
+  std::uint64_t PrefixBits(unsigned bits) const noexcept;
+
+  /// In-ring membership tests used by Chord. All treat the ring as
+  /// circular: when lo == hi the open interval is the whole ring minus the
+  /// endpoints' degenerate cases, matching the Chord paper's conventions.
+  /// InOpenInterval:     x in (lo, hi)
+  /// InHalfOpenLoHi:     x in (lo, hi]
+  bool InOpenInterval(const UInt160& lo, const UInt160& hi) const noexcept;
+  bool InHalfOpenLoHi(const UInt160& lo, const UInt160& hi) const noexcept;
+
+  bool IsZero() const noexcept;
+
+  /// 40-digit lowercase hex.
+  std::string ToHex() const;
+
+  /// Short 10-digit hex prefix for logs.
+  std::string ToShortHex() const;
+
+  /// Fold down to 64 bits (for use as an unordered_map key hash).
+  std::uint64_t Fold64() const noexcept;
+
+ private:
+  Words words_;
+};
+
+/// std::unordered_map support.
+struct UInt160Hasher {
+  std::size_t operator()(const UInt160& id) const noexcept {
+    return static_cast<std::size_t>(id.Fold64());
+  }
+};
+
+}  // namespace peertrack::hash

@@ -1,0 +1,136 @@
+#include "moods/iop.hpp"
+
+#include <algorithm>
+
+namespace peertrack::moods {
+
+std::size_t IopStore::RecordArrival(const hash::UInt160& object, Time arrived) {
+  auto& list = visits_[object];
+  // Arrivals come in time order in practice, but keep the invariant under
+  // out-of-order delivery: insert sorted.
+  auto position = std::upper_bound(
+      list.begin(), list.end(), arrived,
+      [](Time t, const Visit& v) { return t < v.arrived; });
+  // Idempotence: an arrival at the same timestamp is the same capture
+  // (e.g. SetFrom raced ahead and pre-created the visit).
+  if (position != list.begin() && std::prev(position)->arrived == arrived) {
+    return static_cast<std::size_t>(std::distance(list.begin(), std::prev(position)));
+  }
+  Visit visit;
+  visit.arrived = arrived;
+  const auto index = static_cast<std::size_t>(std::distance(list.begin(), position));
+  list.insert(position, visit);
+  ++total_visits_;
+  return index;
+}
+
+Visit* IopStore::FindVisit(const hash::UInt160& object, Time arrived) {
+  const auto it = visits_.find(object);
+  if (it == visits_.end()) return nullptr;
+  auto& list = it->second;
+  auto position = std::lower_bound(
+      list.begin(), list.end(), arrived,
+      [](const Visit& v, Time t) { return v.arrived < t; });
+  if (position == list.end() || position->arrived != arrived) return nullptr;
+  return &*position;
+}
+
+void IopStore::SetFrom(const hash::UInt160& object, Time arrived,
+                       const chord::NodeRef& from, std::optional<Time> from_arrived) {
+  Visit* visit = FindVisit(object, arrived);
+  if (visit == nullptr) {
+    RecordArrival(object, arrived);
+    visit = FindVisit(object, arrived);
+  }
+  visit->from = from;
+  visit->from_arrived = from_arrived;
+}
+
+void IopStore::SetTo(const hash::UInt160& object, const chord::NodeRef& to,
+                     Time to_arrived) {
+  const auto it = visits_.find(object);
+  if (it == visits_.end()) return;  // M2 for an arrival we never saw.
+  auto& list = it->second;
+  // The departing visit is the latest one that began STRICTLY before the
+  // object arrived at its next stop. The strict bound matters when the
+  // next stop is this very node (a revisit): the new visit has
+  // arrived == to_arrived and must not be chosen, or the chain would gain
+  // a self-loop.
+  auto position = std::lower_bound(
+      list.begin(), list.end(), to_arrived,
+      [](const Visit& v, Time t) { return v.arrived < t; });
+  if (position == list.begin()) return;
+  Visit& visit = *std::prev(position);
+  visit.to = to;
+  visit.to_arrived = to_arrived;
+}
+
+bool IopStore::Knows(const hash::UInt160& object) const {
+  return visits_.contains(object);
+}
+
+const std::vector<Visit>* IopStore::VisitsOf(const hash::UInt160& object) const {
+  const auto it = visits_.find(object);
+  return it == visits_.end() ? nullptr : &it->second;
+}
+
+const Visit* IopStore::VisitAtOrBefore(const hash::UInt160& object, Time at) const {
+  const auto it = visits_.find(object);
+  if (it == visits_.end()) return nullptr;
+  const auto& list = it->second;
+  auto position = std::upper_bound(
+      list.begin(), list.end(), at,
+      [](Time t, const Visit& v) { return t < v.arrived; });
+  if (position == list.begin()) return nullptr;
+  return &*std::prev(position);
+}
+
+const Visit* IopStore::VisitAt(const hash::UInt160& object, Time arrived) const {
+  return const_cast<IopStore*>(this)->FindVisit(object, arrived);
+}
+
+std::vector<hash::UInt160> IopStore::InventoryAt(Time at) const {
+  std::vector<hash::UInt160> present;
+  for (const auto& [object, visits] : visits_) {
+    // Latest visit that had begun by `at`.
+    const Visit* current = nullptr;
+    for (const auto& visit : visits) {
+      if (visit.arrived <= at) current = &visit;
+    }
+    if (current == nullptr) continue;
+    // Present unless it departed (to-link with departure implied by the
+    // successor's arrival) before `at`.
+    const bool departed = current->to.has_value() && current->to->Valid() &&
+                          current->to_arrived.value_or(1e300) <= at;
+    if (!departed) present.push_back(object);
+  }
+  return present;
+}
+
+IopStore::DwellStats IopStore::DwellStatistics() const {
+  DwellStats stats;
+  double sum = 0.0;
+  for (const auto& [object, visits] : visits_) {
+    for (const auto& visit : visits) {
+      if (!visit.to.has_value() || !visit.to->Valid() ||
+          !visit.to_arrived.has_value()) {
+        continue;  // Still open.
+      }
+      const double dwell = *visit.to_arrived - visit.arrived;
+      if (stats.completed_visits == 0) {
+        stats.min_ms = stats.max_ms = dwell;
+      } else {
+        stats.min_ms = std::min(stats.min_ms, dwell);
+        stats.max_ms = std::max(stats.max_ms, dwell);
+      }
+      ++stats.completed_visits;
+      sum += dwell;
+    }
+  }
+  if (stats.completed_visits > 0) {
+    stats.mean_ms = sum / static_cast<double>(stats.completed_visits);
+  }
+  return stats;
+}
+
+}  // namespace peertrack::moods

@@ -1,0 +1,103 @@
+#pragma once
+// IOP — Information of Object Path (paper Sections II-C and III).
+//
+// Each node stores, for every object it has observed, the segment of the
+// object's path it witnessed: when the object arrived, which node it came
+// from (filled in by the gateway's M3 message) and which node it departed
+// to (filled in later by M2). Across nodes these records form a
+// distributed doubly-linked list sorted by time — the structure trace
+// queries walk.
+//
+// The paper implicitly assumes an object visits a node at most once; real
+// supply chains revisit (returns, re-distribution), so IopStore keeps a
+// time-ordered visit list per object and every link carries the arrival
+// time that identifies the visit.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/types.hpp"
+#include "moods/object.hpp"
+
+namespace peertrack::moods {
+
+/// One witnessed visit of an object at this node.
+struct Visit {
+  Time arrived = 0.0;
+  /// Node the object came from, and its arrival time there (identifies the
+  /// predecessor visit). Unset while the gateway's M3 is outstanding;
+  /// NodeRef{} (invalid) once confirmed "first appearance".
+  std::optional<chord::NodeRef> from;
+  std::optional<Time> from_arrived;
+  /// Node the object departed to, and its arrival time there. Unset while
+  /// the object is still here (or M2 has not arrived).
+  std::optional<chord::NodeRef> to;
+  std::optional<Time> to_arrived;
+};
+
+/// Per-node IOP repository.
+class IopStore {
+ public:
+  /// Record an arrival (capture). Returns the visit index.
+  std::size_t RecordArrival(const hash::UInt160& object, Time arrived);
+
+  /// Apply an M3 update: the visit at `arrived` came from `from` (invalid
+  /// NodeRef = first appearance), where it had arrived at `from_arrived`.
+  /// Creates the visit if the capture has not been recorded locally yet
+  /// (messages can arrive out of order).
+  void SetFrom(const hash::UInt160& object, Time arrived, const chord::NodeRef& from,
+               std::optional<Time> from_arrived);
+
+  /// Apply an M2 update: the visit that was current at `to_arrived` left to
+  /// node `to`, arriving there at `to_arrived`.
+  void SetTo(const hash::UInt160& object, const chord::NodeRef& to, Time to_arrived);
+
+  bool Knows(const hash::UInt160& object) const;
+
+  /// All visits of `object` at this node, sorted by arrival time. Empty
+  /// when unknown.
+  const std::vector<Visit>* VisitsOf(const hash::UInt160& object) const;
+
+  /// The latest visit with arrival time <= `at`; nullptr if none.
+  const Visit* VisitAtOrBefore(const hash::UInt160& object, Time at) const;
+
+  /// The visit with exactly this arrival time (the id used in IOP links).
+  const Visit* VisitAt(const hash::UInt160& object, Time arrived) const;
+
+  std::size_t ObjectCount() const noexcept { return visits_.size(); }
+  std::uint64_t VisitCount() const noexcept { return total_visits_; }
+
+  /// Objects whose latest visit here has no outgoing link as of `at` —
+  /// i.e. the goods currently on this node's premises at that time (the
+  /// local inverse of L: "what is here?").
+  std::vector<hash::UInt160> InventoryAt(Time at) const;
+
+  /// Dwell-time statistics over completed visits (departure - arrival);
+  /// open visits are excluded. (mean/min/max in ms, plus count).
+  struct DwellStats {
+    std::uint64_t completed_visits = 0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  DwellStats DwellStatistics() const;
+
+  /// Visit-list iteration (snapshotting, audits). Order is unspecified.
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) const {
+    for (const auto& [object, visits] : visits_) fn(object, visits);
+  }
+
+  /// Approximate serialized size of one visit record on the wire.
+  static constexpr std::size_t kVisitWireBytes = 20 + 8 + 2 * (24 + 8);
+
+ private:
+  Visit* FindVisit(const hash::UInt160& object, Time arrived);
+
+  std::unordered_map<hash::UInt160, std::vector<Visit>, hash::UInt160Hasher> visits_;
+  std::uint64_t total_visits_ = 0;
+};
+
+}  // namespace peertrack::moods

@@ -1,0 +1,4 @@
+#include "moods/object.hpp"
+
+// Object is header-only today; this TU anchors the module so the build
+// keeps a stable layout as the model grows.

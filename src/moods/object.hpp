@@ -1,0 +1,34 @@
+#pragma once
+// MOODS object model (paper Section II-B).
+//
+// Objects are identified by a raw id (e.g. an EPC URI); the ring key is
+// SHA1(raw id), cached at construction since every protocol step needs it.
+
+#include <string>
+
+#include "hash/keyspace.hpp"
+
+namespace peertrack::moods {
+
+/// Simulated time, in milliseconds (same axis as sim::Time).
+using Time = double;
+
+class Object {
+ public:
+  Object() = default;
+  explicit Object(std::string raw_id)
+      : raw_id_(std::move(raw_id)), key_(hash::ObjectKey(raw_id_)) {}
+
+  const std::string& RawId() const noexcept { return raw_id_; }
+  const hash::UInt160& Key() const noexcept { return key_; }
+
+  friend bool operator==(const Object& a, const Object& b) noexcept {
+    return a.key_ == b.key_;
+  }
+
+ private:
+  std::string raw_id_;
+  hash::UInt160 key_;
+};
+
+}  // namespace peertrack::moods

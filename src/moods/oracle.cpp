@@ -1,0 +1,47 @@
+#include "moods/oracle.hpp"
+
+#include <algorithm>
+
+namespace peertrack::moods {
+
+void TrajectoryOracle::RecordMovement(const hash::UInt160& object, NodeIndex node,
+                                      Time arrived) {
+  auto& trip = trips_[object];
+  auto position = std::upper_bound(
+      trip.begin(), trip.end(), arrived,
+      [](Time t, const OracleVisit& v) { return t < v.arrived; });
+  trip.insert(position, OracleVisit{node, arrived});
+}
+
+NodeIndex TrajectoryOracle::Locate(const hash::UInt160& object, Time at) const {
+  const auto it = trips_.find(object);
+  if (it == trips_.end()) return kNowhere;
+  const auto& trip = it->second;
+  auto position = std::upper_bound(
+      trip.begin(), trip.end(), at,
+      [](Time t, const OracleVisit& v) { return t < v.arrived; });
+  if (position == trip.begin()) return kNowhere;
+  return std::prev(position)->node;
+}
+
+std::vector<OracleVisit> TrajectoryOracle::Trace(const hash::UInt160& object,
+                                                 Time from, Time to) const {
+  std::vector<OracleVisit> result;
+  const auto it = trips_.find(object);
+  if (it == trips_.end() || from > to) return result;
+  const auto& trip = it->second;
+  for (std::size_t i = 0; i < trip.size(); ++i) {
+    const Time departs = i + 1 < trip.size() ? trip[i + 1].arrived : to;
+    const bool overlaps = trip[i].arrived <= to && departs >= from;
+    if (overlaps) result.push_back(trip[i]);
+  }
+  return result;
+}
+
+const std::vector<OracleVisit>* TrajectoryOracle::FullTrace(
+    const hash::UInt160& object) const {
+  const auto it = trips_.find(object);
+  return it == trips_.end() ? nullptr : &it->second;
+}
+
+}  // namespace peertrack::moods

@@ -1,0 +1,54 @@
+#pragma once
+// Ground-truth trajectory oracle.
+//
+// Implements the MOODS functions L(o, t) and TR(o, t_start, t_end) from
+// complete, out-of-band knowledge of every movement (paper Section II-B,
+// Equations 1-3). The distributed protocols must agree with this oracle;
+// every query test and experiment validates against it.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "moods/object.hpp"
+
+namespace peertrack::moods {
+
+/// The oracle identifies locations by node index (position in the
+/// experiment's node table), keeping it independent of overlay details.
+using NodeIndex = std::uint32_t;
+constexpr NodeIndex kNowhere = 0xFFFFFFFFu;
+
+struct OracleVisit {
+  NodeIndex node = kNowhere;
+  Time arrived = 0.0;
+};
+
+class TrajectoryOracle {
+ public:
+  /// Record that `object` was captured at `node` at time `arrived`.
+  /// Arrivals may be recorded out of order.
+  void RecordMovement(const hash::UInt160& object, NodeIndex node, Time arrived);
+
+  /// L(o, t): where the object was at time t; kNowhere before its first
+  /// appearance or if unknown (Equation 1's "nil").
+  NodeIndex Locate(const hash::UInt160& object, Time at) const;
+
+  /// TR(o, t1, t2): the sorted list of nodes visited in [t1, t2]
+  /// (Equation 2/3). A visit counts if the object was at the node at any
+  /// point of the window, so the visit that starts before t1 but is still
+  /// current at t1 is included.
+  std::vector<OracleVisit> Trace(const hash::UInt160& object, Time from, Time to) const;
+
+  /// Full lifetime trajectory.
+  const std::vector<OracleVisit>* FullTrace(const hash::UInt160& object) const;
+
+  std::size_t ObjectCount() const noexcept { return trips_.size(); }
+
+ private:
+  std::unordered_map<hash::UInt160, std::vector<OracleVisit>, hash::UInt160Hasher>
+      trips_;
+};
+
+}  // namespace peertrack::moods

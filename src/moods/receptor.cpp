@@ -1,0 +1,19 @@
+#include "moods/receptor.hpp"
+
+namespace peertrack::moods {
+
+void Receptor::Read(const Object& object, Time at) {
+  ++raw_reads_;
+  if (dedup_window_ > 0.0) {
+    const auto it = last_read_.find(object.Key());
+    if (it != last_read_.end() && at - it->second < dedup_window_) {
+      it->second = at;
+      return;  // Duplicate read within the window.
+    }
+    last_read_[object.Key()] = at;
+  }
+  ++captures_;
+  if (sink_) sink_(object, at);
+}
+
+}  // namespace peertrack::moods

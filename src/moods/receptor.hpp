@@ -1,0 +1,48 @@
+#pragma once
+// Receptors — the capture devices at fixed locations (paper Section II-A).
+//
+// A receptor (e.g. an RFID reader at a warehouse gate) belongs to exactly
+// one node and turns the physical object flow into the information flow by
+// emitting capture events. Per the paper we assume readings are already
+// cleansed; the receptor optionally models *redundant* reads (the same tag
+// read by several antennas within a short window), which the node-level
+// dedup absorbs — exercising the same code path real deployments need.
+
+#include <functional>
+#include <string>
+
+#include "moods/object.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::moods {
+
+class Receptor {
+ public:
+  /// Sink invoked for every (deduplicated) capture.
+  using CaptureSink = std::function<void(const Object& object, Time at)>;
+
+  Receptor(std::string name, CaptureSink sink)
+      : name_(std::move(name)), sink_(std::move(sink)) {}
+
+  const std::string& Name() const noexcept { return name_; }
+
+  /// Physical read of `object` at time `at`. Reads of the same object
+  /// within the dedup window are collapsed into one capture.
+  void Read(const Object& object, Time at);
+
+  /// Window within which repeated reads of one object are duplicates.
+  void SetDedupWindow(Time window_ms) noexcept { dedup_window_ = window_ms; }
+
+  std::uint64_t RawReads() const noexcept { return raw_reads_; }
+  std::uint64_t Captures() const noexcept { return captures_; }
+
+ private:
+  std::string name_;
+  CaptureSink sink_;
+  Time dedup_window_ = 0.0;
+  std::unordered_map<hash::UInt160, Time, hash::UInt160Hasher> last_read_;
+  std::uint64_t raw_reads_ = 0;
+  std::uint64_t captures_ = 0;
+};
+
+}  // namespace peertrack::moods

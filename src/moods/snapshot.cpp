@@ -1,0 +1,97 @@
+#include "moods/snapshot.hpp"
+
+#include "util/bytes.hpp"
+
+namespace peertrack::moods {
+
+namespace {
+
+constexpr std::uint32_t kVersion = 1;
+
+void WriteKey(util::ByteWriter& writer, const hash::UInt160& key) {
+  for (const std::uint32_t word : key.words()) writer.U32(word);
+}
+
+hash::UInt160 ReadKey(util::ByteReader& reader) {
+  hash::UInt160::Words words;
+  for (auto& word : words) word = reader.U32();
+  return hash::UInt160(words);
+}
+
+void WriteLink(util::ByteWriter& writer, const std::optional<chord::NodeRef>& node,
+               const std::optional<Time>& at) {
+  const bool present = node.has_value();
+  writer.Bool(present);
+  if (!present) return;
+  writer.Bool(node->Valid());
+  WriteKey(writer, node->id);
+  writer.U32(node->actor);
+  writer.Bool(at.has_value());
+  writer.F64(at.value_or(0.0));
+}
+
+void ReadLink(util::ByteReader& reader, std::optional<chord::NodeRef>& node,
+              std::optional<Time>& at) {
+  if (!reader.Bool()) {
+    node.reset();
+    at.reset();
+    return;
+  }
+  const bool valid = reader.Bool();
+  chord::NodeRef ref;
+  ref.id = ReadKey(reader);
+  ref.actor = reader.U32();
+  node = valid ? ref : chord::NodeRef{};
+  const bool has_time = reader.Bool();
+  const Time time = reader.F64();
+  at = has_time ? std::optional<Time>(time) : std::nullopt;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SaveIopStore(const IopStore& store) {
+  util::ByteWriter writer;
+  writer.U32(kSnapshotMagic);
+  writer.U32(kVersion);
+  writer.U64(store.ObjectCount());
+  store.ForEachObject([&](const hash::UInt160& object, const std::vector<Visit>& visits) {
+    WriteKey(writer, object);
+    writer.U64(visits.size());
+    for (const Visit& visit : visits) {
+      writer.F64(visit.arrived);
+      WriteLink(writer, visit.from, visit.from_arrived);
+      WriteLink(writer, visit.to, visit.to_arrived);
+    }
+  });
+  return writer.Take();
+}
+
+bool LoadIopStore(const std::vector<std::uint8_t>& blob, IopStore& store) {
+  util::ByteReader reader(blob);
+  if (reader.U32() != kSnapshotMagic || reader.U32() != kVersion) return false;
+  const std::uint64_t objects = reader.U64();
+  for (std::uint64_t i = 0; i < objects && reader.ok(); ++i) {
+    const hash::UInt160 object = ReadKey(reader);
+    const std::uint64_t count = reader.U64();
+    for (std::uint64_t v = 0; v < count && reader.ok(); ++v) {
+      const Time arrived = reader.F64();
+      store.RecordArrival(object, arrived);
+
+      std::optional<chord::NodeRef> from;
+      std::optional<Time> from_at;
+      ReadLink(reader, from, from_at);
+      if (from.has_value()) {
+        store.SetFrom(object, arrived, *from, from_at);
+      }
+      std::optional<chord::NodeRef> to;
+      std::optional<Time> to_at;
+      ReadLink(reader, to, to_at);
+      if (to.has_value() && to->Valid() && to_at.has_value()) {
+        store.SetTo(object, *to, *to_at);
+      }
+    }
+  }
+  return reader.ok() && reader.AtEnd();
+}
+
+}  // namespace peertrack::moods

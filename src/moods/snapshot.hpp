@@ -1,0 +1,27 @@
+#pragma once
+// Snapshot/restore of a node's local repository.
+//
+// The paper's architecture keeps traceability data "in local repositories
+// of participants"; a real organization restarts its node without losing
+// witnessed history. These functions serialize an IopStore (and the
+// tracking layer reuses the same format for gateway index entries) to a
+// self-describing binary blob with a magic/version header.
+
+#include <cstdint>
+#include <vector>
+
+#include "moods/iop.hpp"
+
+namespace peertrack::moods {
+
+constexpr std::uint32_t kSnapshotMagic = 0x50545231;  // "PTR1"
+
+/// Serialize every visit of every object.
+std::vector<std::uint8_t> SaveIopStore(const IopStore& store);
+
+/// Rebuild a store from a snapshot. Returns false (leaving `store`
+/// partially filled only on true corruption mid-way) when the blob is
+/// malformed or has the wrong magic/version.
+bool LoadIopStore(const std::vector<std::uint8_t>& blob, IopStore& store);
+
+}  // namespace peertrack::moods

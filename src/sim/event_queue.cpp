@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+namespace peertrack::sim {
+
+EventHandle EventQueue::Push(Time time, util::UniqueFunction<void()> action) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Node{time, next_seq_++, std::move(action), flag});
+  return EventHandle(flag);
+}
+
+void EventQueue::DropCancelled() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    // priority_queue::top() is const; const_cast is the standard idiom for
+    // moving out of a heap of move-only payloads we are about to pop.
+    auto& node = const_cast<Node&>(heap_.top());
+    auto discard = std::move(node.action);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  DropCancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::NextTime() {
+  DropCancelled();
+  return heap_.top().time;
+}
+
+EventQueue::Entry EventQueue::Pop() {
+  DropCancelled();
+  auto& node = const_cast<Node&>(heap_.top());
+  Entry entry{node.time, std::move(node.action)};
+  heap_.pop();
+  return entry;
+}
+
+}  // namespace peertrack::sim

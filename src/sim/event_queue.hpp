@@ -1,0 +1,87 @@
+#pragma once
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, sequence). The sequence number makes
+// ordering of simultaneous events deterministic (FIFO within a timestamp),
+// which the reproducibility guarantees of the whole repo rest on.
+// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+// on pop, so Cancel() is O(1).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/unique_function.hpp"
+
+namespace peertrack::sim {
+
+/// Simulated time in milliseconds.
+using Time = double;
+
+/// Handle for cancelling a scheduled event. Default-constructed handles are
+/// inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Marks the event as cancelled; no-op if already fired or cancelled.
+  void Cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  bool Valid() const noexcept { return cancelled_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `time`. Returns a cancellation
+  /// handle.
+  EventHandle Push(Time time, util::UniqueFunction<void()> action);
+
+  /// True when no live (non-cancelled) events remain.
+  bool Empty();
+
+  /// Earliest live event time. Precondition: !Empty().
+  Time NextTime();
+
+  /// Pop and run nothing — returns the next live action and its time.
+  /// Precondition: !Empty().
+  struct Entry {
+    Time time;
+    util::UniqueFunction<void()> action;
+  };
+  Entry Pop();
+
+  /// Number of heap entries, including cancelled-but-not-yet-dropped ones
+  /// (cancellation is lazy); an upper bound on live events.
+  std::size_t PendingCount() const noexcept { return heap_.size(); }
+
+ private:
+  struct Node {
+    Time time;
+    std::uint64_t seq;
+    // unique_ptr keeps Node movable even though move_only_function is.
+    util::UniqueFunction<void()> action;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Node& a, const Node& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelled();
+
+  std::priority_queue<Node, std::vector<Node>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace peertrack::sim

@@ -1,0 +1,62 @@
+#include "sim/latency_model.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include "util/format.hpp"
+#include <vector>
+
+namespace peertrack::sim {
+
+std::string ConstantLatency::Describe() const {
+  return util::Format("constant({} ms)", ms_);
+}
+
+double UniformLatency::Sample(util::Rng& rng) noexcept {
+  return rng.NextDouble(lo_, hi_);
+}
+
+std::string UniformLatency::Describe() const {
+  return util::Format("uniform([{}, {}] ms)", lo_, hi_);
+}
+
+double LogNormalLatency::Sample(util::Rng& rng) noexcept {
+  const double z = rng.NextNormal();
+  return std::max(floor_, median_ * std::exp(sigma_ * z));
+}
+
+std::string LogNormalLatency::Describe() const {
+  return util::Format("lognormal(median={} ms, sigma={})", median_, sigma_);
+}
+
+std::unique_ptr<LatencyModel> MakeLatencyModel(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(':', start);
+    if (end == std::string::npos) end = spec.size();
+    parts.push_back(spec.substr(start, end - start));
+    start = end + 1;
+  }
+  auto number = [&](std::size_t i, double fallback) {
+    if (i >= parts.size()) return fallback;
+    double out{};
+    const auto& s = parts[i];
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return (ec == std::errc{} && ptr == s.data() + s.size()) ? out : fallback;
+  };
+  if (!parts.empty()) {
+    if (parts[0] == "constant") {
+      return std::make_unique<ConstantLatency>(number(1, 5.0));
+    }
+    if (parts[0] == "uniform") {
+      return std::make_unique<UniformLatency>(number(1, 2.0), number(2, 10.0));
+    }
+    if (parts[0] == "lognormal") {
+      return std::make_unique<LogNormalLatency>(number(1, 5.0), number(2, 0.5));
+    }
+  }
+  return std::make_unique<ConstantLatency>(5.0);
+}
+
+}  // namespace peertrack::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Network latency models.
+//
+// The paper charges a flat 5 ms ("typical network latency of T1") per
+// network query; ConstantLatency(5.0) reproduces that. Uniform and
+// LogNormal models are provided for sensitivity studies (real WANs are
+// heavy-tailed).
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace peertrack::sim {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay in milliseconds for the next message.
+  virtual double Sample(util::Rng& rng) noexcept = 0;
+
+  /// Human-readable description for experiment logs.
+  virtual std::string Describe() const = 0;
+};
+
+/// Every message takes exactly `ms`.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(double ms) noexcept : ms_(ms) {}
+  double Sample(util::Rng&) noexcept override { return ms_; }
+  std::string Describe() const override;
+
+ private:
+  double ms_;
+};
+
+/// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(double lo_ms, double hi_ms) noexcept : lo_(lo_ms), hi_(hi_ms) {}
+  double Sample(util::Rng& rng) noexcept override;
+  std::string Describe() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Log-normal with the given median and sigma (of the underlying normal),
+/// clamped below at `floor_ms`. Approximates heavy-tailed WAN latency.
+class LogNormalLatency final : public LatencyModel {
+ public:
+  LogNormalLatency(double median_ms, double sigma, double floor_ms = 0.1) noexcept
+      : median_(median_ms), sigma_(sigma), floor_(floor_ms) {}
+  double Sample(util::Rng& rng) noexcept override;
+  std::string Describe() const override;
+
+ private:
+  double median_;
+  double sigma_;
+  double floor_;
+};
+
+/// Factory from a config string: "constant:5", "uniform:2:10",
+/// "lognormal:5:0.5". Unknown specs fall back to constant 5 ms.
+std::unique_ptr<LatencyModel> MakeLatencyModel(const std::string& spec);
+
+}  // namespace peertrack::sim

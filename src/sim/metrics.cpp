@@ -1,0 +1,65 @@
+#include "sim/metrics.hpp"
+
+#include "util/format.hpp"
+
+namespace peertrack::sim {
+
+void Metrics::BumpPerActor(std::vector<std::uint64_t>& v, ActorId id) {
+  if (id == kInvalidActor) return;
+  if (v.size() <= id) v.resize(id + 1, 0);
+  ++v[id];
+}
+
+void Metrics::RecordMessage(std::string_view type, std::size_t bytes, ActorId from,
+                            ActorId to) {
+  ++total_messages_;
+  total_bytes_ += bytes;
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) {
+    it = by_type_.emplace(std::string(type), TypeCounter{}).first;
+  }
+  ++it->second.count;
+  it->second.bytes += bytes;
+  BumpPerActor(sent_per_actor_, from);
+  BumpPerActor(received_per_actor_, to);
+}
+
+void Metrics::RecordDrop(std::string_view type) {
+  ++dropped_;
+  Bump(util::Format("drop:{}", type));
+}
+
+void Metrics::Bump(const std::string& counter, std::uint64_t by) {
+  counters_[counter] += by;
+}
+
+Metrics::TypeCounter Metrics::ForType(std::string_view type) const {
+  const auto it = by_type_.find(type);
+  return it == by_type_.end() ? TypeCounter{} : it->second;
+}
+
+std::uint64_t Metrics::Counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::Reset() { *this = Metrics{}; }
+
+std::string Metrics::Summary() const {
+  std::string out = util::Format("messages={} bytes={} dropped={}\n", total_messages_,
+                                total_bytes_, dropped_);
+  for (const auto& [type, counter] : by_type_) {
+    out += util::Format("  {:<24} count={:<10} bytes={}\n", type, counter.count,
+                       counter.bytes);
+  }
+  if (lookup_hops_.Count() > 0) {
+    out += util::Format("  lookup hops: mean={:.2f} max={:.0f} n={}\n",
+                       lookup_hops_.Mean(), lookup_hops_.Max(), lookup_hops_.Count());
+  }
+  for (const auto& [name, value] : counters_) {
+    out += util::Format("  counter {:<22} {}\n", name, value);
+  }
+  return out;
+}
+
+}  // namespace peertrack::sim

@@ -1,0 +1,91 @@
+#pragma once
+// Message and cost accounting for simulations.
+//
+// The paper's headline metric is "indexing cost, measured by the total
+// volume of messages transferred over the network" (Section V-A); queries
+// are measured in simulated milliseconds. Metrics centralizes both: the
+// network layer records every remote message (count + bytes, per type and
+// per actor), and protocol layers record lookup hop counts and named
+// counters through the same object, so every bench reads cost identically.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace peertrack::sim {
+
+using ActorId = std::uint32_t;
+constexpr ActorId kInvalidActor = 0xFFFFFFFFu;
+
+class Metrics {
+ public:
+  struct TypeCounter {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Record a remote message of `type` and total wire size `bytes`.
+  void RecordMessage(std::string_view type, std::size_t bytes, ActorId from,
+                     ActorId to);
+
+  /// Record a message dropped because its destination was down.
+  void RecordDrop(std::string_view type);
+
+  /// Record the hop count of one completed DHT lookup.
+  void RecordLookupHops(std::size_t hops) { lookup_hops_.Add(static_cast<double>(hops)); }
+
+  /// Bump a named counter (protocol-level events that are not messages,
+  /// e.g. "window_flush", "triangle_split").
+  void Bump(const std::string& counter, std::uint64_t by = 1);
+
+  std::uint64_t TotalMessages() const noexcept { return total_messages_; }
+  std::uint64_t TotalBytes() const noexcept { return total_bytes_; }
+  std::uint64_t DroppedMessages() const noexcept { return dropped_; }
+
+  /// Count/bytes for one message type (zeroes when never seen).
+  TypeCounter ForType(std::string_view type) const;
+
+  /// All message types seen, sorted by name.
+  const std::map<std::string, TypeCounter, std::less<>>& ByType() const noexcept {
+    return by_type_;
+  }
+
+  std::uint64_t Counter(std::string_view name) const;
+  const std::map<std::string, std::uint64_t, std::less<>>& Counters() const noexcept {
+    return counters_;
+  }
+
+  const util::RunningStats& LookupHops() const noexcept { return lookup_hops_; }
+
+  /// Messages received per actor (index = ActorId); shorter than the actor
+  /// count if high ids never received traffic.
+  const std::vector<std::uint64_t>& ReceivedPerActor() const noexcept {
+    return received_per_actor_;
+  }
+  const std::vector<std::uint64_t>& SentPerActor() const noexcept {
+    return sent_per_actor_;
+  }
+
+  /// Zero everything (used between warm-up and measured phases).
+  void Reset();
+
+  /// Multi-line human-readable dump.
+  std::string Summary() const;
+
+ private:
+  static void BumpPerActor(std::vector<std::uint64_t>& v, ActorId id);
+
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::map<std::string, TypeCounter, std::less<>> by_type_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  util::RunningStats lookup_hops_;
+  std::vector<std::uint64_t> received_per_actor_;
+  std::vector<std::uint64_t> sent_per_actor_;
+};
+
+}  // namespace peertrack::sim

@@ -1,0 +1,72 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace peertrack::sim {
+
+Network::Network(Simulator& simulator, LatencyModel& latency, util::Rng& rng)
+    : simulator_(simulator), latency_(latency), rng_(rng) {}
+
+ActorId Network::Register(Actor& actor) {
+  actors_.push_back(Slot{&actor, true});
+  return static_cast<ActorId>(actors_.size() - 1);
+}
+
+void Network::Send(ActorId from, ActorId to, std::unique_ptr<Message> message) {
+  if (to >= actors_.size()) {
+    util::LogWarn("Send to unknown actor {}", to);
+    return;
+  }
+  double delay = 0.0;
+  if (from != to) {
+    delay = latency_.Sample(rng_);
+    metrics_.RecordMessage(message->TypeName(),
+                           kMessageHeaderBytes + message->ApproxBytes(), from, to);
+    if (loss_rate_ > 0.0 && rng_.NextBool(loss_rate_)) {
+      metrics_.RecordDrop(message->TypeName());
+      return;  // Lost on the wire; the sender still paid for it.
+    }
+  }
+  simulator_.ScheduleAfter(
+      delay, [this, from, to, msg = std::move(message)]() mutable {
+        Slot& slot = actors_[to];
+        if (!slot.up || slot.actor == nullptr) {
+          metrics_.RecordDrop(msg->TypeName());
+          return;
+        }
+        slot.actor->OnMessage(from, std::move(msg));
+      });
+}
+
+void Network::SendInstant(ActorId from, ActorId to, std::unique_ptr<Message> message) {
+  if (to >= actors_.size()) {
+    util::LogWarn("SendInstant to unknown actor {}", to);
+    return;
+  }
+  if (from != to) {
+    metrics_.RecordMessage(message->TypeName(),
+                           kMessageHeaderBytes + message->ApproxBytes(), from, to);
+  }
+  Slot& slot = actors_[to];
+  if (!slot.up || slot.actor == nullptr) {
+    metrics_.RecordDrop(message->TypeName());
+    return;
+  }
+  slot.actor->OnMessage(from, std::move(message));
+}
+
+void Network::SetUp(ActorId id, bool up) {
+  if (id < actors_.size()) actors_[id].up = up;
+}
+
+bool Network::IsUp(ActorId id) const {
+  return id < actors_.size() && actors_[id].up;
+}
+
+void Network::SetLossRate(double probability) {
+  loss_rate_ = std::clamp(probability, 0.0, 1.0);
+}
+
+}  // namespace peertrack::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace peertrack::sim {
+
+EventHandle Simulator::ScheduleAt(Time time, util::UniqueFunction<void()> action) {
+  return queue_.Push(std::max(time, now_), std::move(action));
+}
+
+EventHandle Simulator::ScheduleAfter(Time delay, util::UniqueFunction<void()> action) {
+  return ScheduleAt(now_ + std::max(delay, 0.0), std::move(action));
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  auto entry = queue_.Pop();
+  now_ = entry.time;
+  ++processed_;
+  entry.action();
+  return true;
+}
+
+std::uint64_t Simulator::Run(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (count < max_events && Step()) ++count;
+  return count;
+}
+
+std::uint64_t Simulator::RunUntil(Time until) {
+  std::uint64_t count = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= until) {
+    auto entry = queue_.Pop();
+    now_ = entry.time;
+    ++processed_;
+    ++count;
+    entry.action();
+  }
+  now_ = std::max(now_, until);
+  return count;
+}
+
+}  // namespace peertrack::sim

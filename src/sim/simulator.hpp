@@ -1,0 +1,49 @@
+#pragma once
+// Discrete-event simulator core.
+//
+// Single-threaded by design: one Simulator owns one logical timeline, and
+// experiments that sweep parameters run many independent Simulators in
+// parallel (see util::ThreadPool). Events are closures; higher layers
+// (network delivery, protocol timers, workload arrivals) all reduce to
+// ScheduleAt/ScheduleAfter.
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+
+namespace peertrack::sim {
+
+class Simulator {
+ public:
+  Time Now() const noexcept { return now_; }
+
+  /// Schedule at absolute simulated time; times in the past are clamped to
+  /// Now() (the event still runs, after currently-due events).
+  EventHandle ScheduleAt(Time time, util::UniqueFunction<void()> action);
+
+  /// Schedule `delay` milliseconds from Now(). Negative delays clamp to 0.
+  EventHandle ScheduleAfter(Time delay, util::UniqueFunction<void()> action);
+
+  /// Run one event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Run until the queue drains or `max_events` have fired.
+  /// Returns the number of events processed.
+  std::uint64_t Run(std::uint64_t max_events =
+                        std::numeric_limits<std::uint64_t>::max());
+
+  /// Run events with time <= `until`. The clock ends at exactly `until` if
+  /// the queue drained earlier. Returns events processed.
+  std::uint64_t RunUntil(Time until);
+
+  std::uint64_t ProcessedEvents() const noexcept { return processed_; }
+  std::size_t PendingEvents() const noexcept { return queue_.PendingCount(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace peertrack::sim

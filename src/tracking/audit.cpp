@@ -1,0 +1,44 @@
+#include "tracking/audit.hpp"
+
+#include "util/format.hpp"
+
+namespace peertrack::tracking {
+
+std::string TraceAuditor::Anomaly::Describe() const {
+  switch (kind) {
+    case AnomalyKind::kImpossibleTransit:
+      return util::Format(
+          "impossible transit into {} ({} ms since previous site) — clone suspected",
+          site.Describe(), gap_ms);
+    case AnomalyKind::kExcessiveDwell:
+      return util::Format("excessive dwell at {} ({} ms)", site.Describe(), gap_ms);
+  }
+  return "unknown anomaly";
+}
+
+std::vector<TraceAuditor::Anomaly> TraceAuditor::Audit(
+    const std::vector<TrackerNode::TraceStep>& path) const {
+  std::vector<Anomaly> anomalies;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const moods::Time gap = path[i].arrived - path[i - 1].arrived;
+    const bool different_site = path[i].node.actor != path[i - 1].node.actor;
+    if (different_site && gap < limits_.min_transit_ms) {
+      anomalies.push_back(Anomaly{AnomalyKind::kImpossibleTransit, i, path[i].node, gap});
+    }
+    if (limits_.max_dwell_ms > 0.0 && gap > limits_.max_dwell_ms) {
+      // The dwell at the previous site lasted `gap` ms.
+      anomalies.push_back(
+          Anomaly{AnomalyKind::kExcessiveDwell, i - 1, path[i - 1].node, gap});
+    }
+  }
+  return anomalies;
+}
+
+bool TraceAuditor::LooksCloned(const std::vector<TrackerNode::TraceStep>& path) const {
+  for (const auto& anomaly : Audit(path)) {
+    if (anomaly.kind == AnomalyKind::kImpossibleTransit) return true;
+  }
+  return false;
+}
+
+}  // namespace peertrack::tracking

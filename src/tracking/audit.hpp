@@ -1,0 +1,60 @@
+#pragma once
+// Trace auditing: anomaly detection over trace-query results.
+//
+// The paper's motivating applications include counterfeit prevention and
+// pilferage reduction (abstract / Section I). Both reduce to analyses of
+// the trajectory a trace query returns:
+//  * clone detection — the same EPC observed at two sites with less time
+//    between captures than any physical transport allows (cloned tags);
+//  * gap detection — an object that reappears after an implausibly long
+//    silence, or whose chain has missing links (diverted/pilfered goods).
+// TraceAuditor packages these checks as a reusable component with explicit,
+// tunable physical limits.
+
+#include <string>
+#include <vector>
+
+#include "tracking/tracker_node.hpp"
+
+namespace peertrack::tracking {
+
+class TraceAuditor {
+ public:
+  struct Limits {
+    /// Minimum plausible time between captures at *different* sites (the
+    /// fastest transport leg in the network).
+    moods::Time min_transit_ms = 600'000.0;
+    /// Dwell beyond which a visit is suspicious (goods parked off-books).
+    /// 0 disables the check.
+    moods::Time max_dwell_ms = 0.0;
+  };
+
+  enum class AnomalyKind {
+    kImpossibleTransit,  ///< Too fast between different sites: clone suspected.
+    kExcessiveDwell,     ///< Sat at one site longer than policy allows.
+  };
+
+  struct Anomaly {
+    AnomalyKind kind;
+    std::size_t step_index = 0;  ///< Index into the trace path (the later step).
+    chord::NodeRef site;         ///< Where the anomaly surfaces.
+    moods::Time gap_ms = 0.0;    ///< The offending interval.
+    std::string Describe() const;
+  };
+
+  explicit TraceAuditor(Limits limits) : limits_(limits) {}
+  TraceAuditor() : TraceAuditor(Limits{}) {}
+
+  /// Audit one trace result. Returns all anomalies (empty = clean).
+  std::vector<Anomaly> Audit(const std::vector<TrackerNode::TraceStep>& path) const;
+
+  /// Convenience verdict.
+  bool LooksCloned(const std::vector<TrackerNode::TraceStep>& path) const;
+
+  const Limits& limits() const noexcept { return limits_; }
+
+ private:
+  Limits limits_;
+};
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,79 @@
+#include "tracking/flooding.hpp"
+
+#include <algorithm>
+
+namespace peertrack::tracking {
+
+void FloodingQueryEngine::Query(const chord::Key& object, Callback callback) {
+  const std::uint64_t query_id = next_query_id_++;
+  Pending pending;
+  pending.object = object;
+  pending.callback = std::move(callback);
+  pending.issued_at = network_.simulator().Now();
+
+  // Local visits count immediately.
+  if (const auto* visits = iop_.VisitsOf(object)) {
+    for (const auto& visit : *visits) {
+      pending.collected.emplace_back(self_, visit.arrived);
+    }
+  }
+
+  std::size_t sent = 0;
+  for (const auto& peer : peers_) {
+    if (peer.actor == self_.actor) continue;
+    peer_by_actor_[peer.actor] = peer;
+    auto probe = std::make_unique<FloodProbe>();
+    probe->query_id = query_id;
+    probe->object = object;
+    network_.Send(self_.actor, peer.actor, std::move(probe));
+    ++sent;
+  }
+  pending.awaiting = sent;
+  pending.messages = sent;
+  pending_.emplace(query_id, std::move(pending));
+  if (sent == 0) Finish(query_id);
+}
+
+void FloodingQueryEngine::HandleProbe(sim::ActorId from, const FloodProbe& probe) {
+  auto reply = std::make_unique<FloodReply>();
+  reply->query_id = probe.query_id;
+  if (const auto* visits = iop_.VisitsOf(probe.object)) {
+    reply->arrivals.reserve(visits->size());
+    for (const auto& visit : *visits) reply->arrivals.push_back(visit.arrived);
+  }
+  network_.Send(self_.actor, from, std::move(reply));
+}
+
+void FloodingQueryEngine::HandleReply(sim::ActorId from, const FloodReply& reply) {
+  const auto it = pending_.find(reply.query_id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  ++pending.messages;
+  const auto peer_it = peer_by_actor_.find(from);
+  const chord::NodeRef peer =
+      peer_it == peer_by_actor_.end() ? chord::NodeRef{} : peer_it->second;
+  for (const moods::Time arrived : reply.arrivals) {
+    pending.collected.emplace_back(peer, arrived);
+  }
+  if (pending.awaiting > 0) --pending.awaiting;
+  if (pending.awaiting == 0) Finish(reply.query_id);
+}
+
+void FloodingQueryEngine::Finish(std::uint64_t query_id) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  Result result;
+  result.ok = !pending.collected.empty();
+  result.path = std::move(pending.collected);
+  std::sort(result.path.begin(), result.path.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  result.issued_at = pending.issued_at;
+  result.completed_at = network_.simulator().Now();
+  result.messages = pending.messages;
+  if (pending.callback) pending.callback(std::move(result));
+}
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,94 @@
+#pragma once
+// Flooding trace queries — the naive PDMS baseline.
+//
+// The paper positions IOP + gateway indexing against systems that must
+// "flood queries to all nodes in the network" when no movement-path
+// information is available (Section I's discussion of Theseos). This
+// module implements that baseline honestly: the querying node broadcasts a
+// probe to every peer, each peer returns its local visits of the object,
+// and the origin assembles the trajectory. Correct, index-free, and
+// O(N) messages per query — the benchmark `ablation_flooding` quantifies
+// exactly the trade-off the paper's design removes.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/types.hpp"
+#include "moods/iop.hpp"
+#include "sim/network.hpp"
+
+namespace peertrack::tracking {
+
+class TrackerNode;
+
+/// Broadcast probe: "send me every visit you witnessed for `object`".
+struct FloodProbe final : sim::Message {
+  std::uint64_t query_id = 0;
+  chord::Key object;
+
+  std::string_view TypeName() const noexcept override { return "track.flood_probe"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 20; }
+};
+
+struct FloodReply final : sim::Message {
+  std::uint64_t query_id = 0;
+  /// Arrival times of the sender's visits (empty = never seen).
+  std::vector<moods::Time> arrivals;
+
+  std::string_view TypeName() const noexcept override { return "track.flood_reply"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + arrivals.size() * 8; }
+};
+
+/// Per-node flooding query engine. Owns its pending-query state; plugs into
+/// TrackerNode's message dispatch.
+class FloodingQueryEngine {
+ public:
+  struct Result {
+    bool ok = false;  ///< At least one node reported the object.
+    /// (node, arrival) steps sorted by time — same shape as a TraceResult.
+    std::vector<std::pair<chord::NodeRef, moods::Time>> path;
+    moods::Time issued_at = 0.0;
+    moods::Time completed_at = 0.0;
+    std::size_t messages = 0;  ///< Probes + replies for this query.
+    double DurationMs() const noexcept { return completed_at - issued_at; }
+  };
+  using Callback = std::function<void(Result)>;
+
+  FloodingQueryEngine(sim::Network& network, const chord::NodeRef& self,
+                      const moods::IopStore& iop)
+      : network_(network), self_(self), iop_(iop) {}
+
+  /// Peers to flood (every alive organization; maintained by the system).
+  void SetMembership(std::vector<chord::NodeRef> peers) { peers_ = std::move(peers); }
+
+  /// Broadcast a trace query for `object`.
+  void Query(const chord::Key& object, Callback callback);
+
+  /// Message hooks (called from TrackerNode::OnAppMessage).
+  void HandleProbe(sim::ActorId from, const FloodProbe& probe);
+  void HandleReply(sim::ActorId from, const FloodReply& reply);
+
+ private:
+  struct Pending {
+    chord::Key object;
+    Callback callback;
+    moods::Time issued_at = 0.0;
+    std::size_t awaiting = 0;
+    std::size_t messages = 0;
+    std::vector<std::pair<chord::NodeRef, moods::Time>> collected;
+  };
+
+  void Finish(std::uint64_t query_id);
+
+  sim::Network& network_;
+  chord::NodeRef self_;
+  const moods::IopStore& iop_;
+  std::vector<chord::NodeRef> peers_;
+  std::uint64_t next_query_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<sim::ActorId, chord::NodeRef> peer_by_actor_;
+};
+
+}  // namespace peertrack::tracking

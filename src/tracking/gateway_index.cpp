@@ -1,0 +1,86 @@
+#include "tracking/gateway_index.hpp"
+
+#include <algorithm>
+
+namespace peertrack::tracking {
+
+const IndexEntry* PrefixBucket::Find(const hash::UInt160& object) const {
+  const auto it = entries_.find(object);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PrefixBucket::Upsert(const hash::UInt160& object, const IndexEntry& entry) {
+  entries_[object] = entry;
+}
+
+std::optional<IndexEntry> PrefixBucket::Extract(const hash::UInt160& object) {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return std::nullopt;
+  IndexEntry entry = it->second;
+  entries_.erase(it);
+  return entry;
+}
+
+std::vector<std::pair<hash::UInt160, IndexEntry>> PrefixBucket::ExtractEarliest(
+    std::size_t count) {
+  count = std::min(count, entries_.size());
+  std::vector<std::pair<hash::UInt160, IndexEntry>> all;
+  all.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) all.emplace_back(key, entry);
+  // Oldest `count` by last update time; ties broken by key for determinism
+  // (unordered_map iteration order must not leak into results).
+  std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count),
+                   all.end(), [](const auto& a, const auto& b) {
+                     if (a.second.latest_arrived != b.second.latest_arrived) {
+                       return a.second.latest_arrived < b.second.latest_arrived;
+                     }
+                     return a.first < b.first;
+                   });
+  all.resize(count);
+  for (const auto& [key, _] : all) entries_.erase(key);
+  return all;
+}
+
+std::vector<std::pair<hash::UInt160, IndexEntry>> PrefixBucket::ExtractAll() {
+  std::vector<std::pair<hash::UInt160, IndexEntry>> all;
+  all.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) all.emplace_back(key, entry);
+  entries_.clear();
+  return all;
+}
+
+PrefixBucket& PrefixIndexStore::BucketFor(const hash::Prefix& prefix) {
+  return buckets_[prefix];
+}
+
+PrefixBucket* PrefixIndexStore::TryBucket(const hash::Prefix& prefix) {
+  const auto it = buckets_.find(prefix);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+const PrefixBucket* PrefixIndexStore::TryBucket(const hash::Prefix& prefix) const {
+  const auto it = buckets_.find(prefix);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+void PrefixIndexStore::DropIfEmpty(const hash::Prefix& prefix) {
+  const auto it = buckets_.find(prefix);
+  if (it != buckets_.end() && it->second.Empty()) buckets_.erase(it);
+}
+
+std::vector<hash::Prefix> PrefixIndexStore::Prefixes() const {
+  std::vector<hash::Prefix> prefixes;
+  prefixes.reserve(buckets_.size());
+  for (const auto& [prefix, bucket] : buckets_) {
+    if (!bucket.Empty()) prefixes.push_back(prefix);
+  }
+  return prefixes;
+}
+
+std::size_t PrefixIndexStore::TotalEntries() const {
+  std::size_t total = 0;
+  for (const auto& [_, bucket] : buckets_) total += bucket.Size();
+  return total;
+}
+
+}  // namespace peertrack::tracking

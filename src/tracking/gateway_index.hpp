@@ -1,0 +1,80 @@
+#pragma once
+// Gateway-side index storage.
+//
+// In individual mode a gateway keeps a flat map object -> latest location.
+// In group mode a node may be gateway for several prefixes; entries live in
+// per-prefix buckets, and the Data-Triangle machinery (paper Section
+// IV-A2) moves entries between a bucket, its parent prefix, and its two
+// child prefixes. This class is pure storage + selection policy; all
+// messaging lives in TrackerNode.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/types.hpp"
+#include "hash/keyspace.hpp"
+#include "moods/object.hpp"
+
+namespace peertrack::tracking {
+
+/// Latest-state record for one object (the paper's "index").
+struct IndexEntry {
+  chord::NodeRef latest_node;
+  moods::Time latest_arrived = 0.0;
+};
+
+/// One prefix gateway's entries.
+class PrefixBucket {
+ public:
+  using EntryMap =
+      std::unordered_map<hash::UInt160, IndexEntry, hash::UInt160Hasher>;
+
+  const IndexEntry* Find(const hash::UInt160& object) const;
+  void Upsert(const hash::UInt160& object, const IndexEntry& entry);
+  /// Removes and returns the entry if present.
+  std::optional<IndexEntry> Extract(const hash::UInt160& object);
+
+  std::size_t Size() const noexcept { return entries_.size(); }
+  bool Empty() const noexcept { return entries_.empty(); }
+  const EntryMap& Entries() const noexcept { return entries_; }
+
+  /// The `count` entries with the earliest latest_arrived (FIFO delegation
+  /// policy, paper Section IV-A2: "the latest records are more likely to be
+  /// read and updated in the near future"). Removes them from the bucket.
+  std::vector<std::pair<hash::UInt160, IndexEntry>> ExtractEarliest(std::size_t count);
+
+  /// Removes and returns every entry (split/merge migration).
+  std::vector<std::pair<hash::UInt160, IndexEntry>> ExtractAll();
+
+ private:
+  EntryMap entries_;
+};
+
+/// All prefix buckets hosted on one node.
+class PrefixIndexStore {
+ public:
+  /// Bucket for `prefix`, created on demand.
+  PrefixBucket& BucketFor(const hash::Prefix& prefix);
+
+  /// Bucket if it exists (no creation).
+  PrefixBucket* TryBucket(const hash::Prefix& prefix);
+  const PrefixBucket* TryBucket(const hash::Prefix& prefix) const;
+
+  void DropIfEmpty(const hash::Prefix& prefix);
+
+  /// Prefixes of all (non-empty) buckets.
+  std::vector<hash::Prefix> Prefixes() const;
+
+  /// Total entries across buckets.
+  std::size_t TotalEntries() const;
+
+  bool Empty() const noexcept { return buckets_.empty(); }
+
+ private:
+  std::map<hash::Prefix, PrefixBucket> buckets_;
+};
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,22 @@
+#include "tracking/grouping.hpp"
+
+namespace peertrack::tracking {
+
+bool CaptureWindow::Add(const hash::UInt160& object, moods::Time captured_at) {
+  if (buffer_.empty()) opened_at_ = captured_at;
+  buffer_.emplace_back(object, captured_at);
+  return buffer_.size() >= limits_.nmax;
+}
+
+std::map<hash::Prefix, std::vector<std::pair<hash::UInt160, moods::Time>>>
+CaptureWindow::CloseAndGroup(unsigned prefix_length) {
+  std::map<hash::Prefix, std::vector<std::pair<hash::UInt160, moods::Time>>> groups;
+  for (auto& [object, time] : buffer_) {
+    groups[hash::Prefix::OfKey(object, prefix_length)].emplace_back(object, time);
+  }
+  buffer_.clear();
+  ++windows_closed_;
+  return groups;
+}
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,60 @@
+#pragma once
+// Adaptive capture window (paper Section IV-A1, "Group Generation").
+//
+// Captures are buffered per node; a window closes when Tmax elapses since
+// the window opened OR when Nmax objects have accumulated, whichever comes
+// first. On close, the buffered captures are grouped by the Lp-bit prefix
+// of their hashed ids. Timer scheduling is the owner's job (the window is
+// pure state), keeping this class trivially unit-testable.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hash/keyspace.hpp"
+#include "moods/object.hpp"
+
+namespace peertrack::tracking {
+
+class CaptureWindow {
+ public:
+  struct Limits {
+    moods::Time tmax_ms = 1000.0;  ///< Maximum window width.
+    std::size_t nmax = 512;        ///< Maximum captures per window.
+  };
+
+  explicit CaptureWindow(Limits limits) : limits_(limits) {}
+
+  const Limits& limits() const noexcept { return limits_; }
+
+  /// Buffer a capture. Returns true when the window is now full (Nmax) and
+  /// the owner must flush immediately.
+  bool Add(const hash::UInt160& object, moods::Time captured_at);
+
+  bool Empty() const noexcept { return buffer_.empty(); }
+  std::size_t Size() const noexcept { return buffer_.size(); }
+
+  /// Time the currently-open window opened (first capture).
+  moods::Time OpenedAt() const noexcept { return opened_at_; }
+
+  /// Deadline by which the owner must flush (OpenedAt + Tmax).
+  moods::Time Deadline() const noexcept { return opened_at_ + limits_.tmax_ms; }
+
+  /// Close the window: group buffered captures by `prefix_length` bits and
+  /// reset the buffer. Groups are keyed by prefix in deterministic order.
+  std::map<hash::Prefix, std::vector<std::pair<hash::UInt160, moods::Time>>>
+  CloseAndGroup(unsigned prefix_length);
+
+  /// Drop everything (node shutdown).
+  void Clear() { buffer_.clear(); }
+
+  std::uint64_t WindowsClosed() const noexcept { return windows_closed_; }
+
+ private:
+  Limits limits_;
+  moods::Time opened_at_ = 0.0;
+  std::vector<std::pair<hash::UInt160, moods::Time>> buffer_;
+  std::uint64_t windows_closed_ = 0;
+};
+
+}  // namespace peertrack::tracking

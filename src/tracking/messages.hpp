@@ -1,0 +1,174 @@
+#pragma once
+// Tracking-layer wire messages.
+//
+// Naming follows the paper's Figure 2: M1 is the arrival report from the
+// capturing node to the gateway, M2 updates the previous node's IOP
+// ("o.to = dst"), M3 updates the new node's IOP ("o.from = src"). Group
+// indexing batches M1 per prefix group and M2/M3 per destination node.
+//
+// M1/GroupArrival are DHT-routed via RoutedEnvelope (greedy forwarding, one
+// message per overlay hop); M2/M3 go point-to-point because the gateway
+// knows the target addresses from its index.
+
+#include <memory>
+#include <vector>
+
+#include "chord/types.hpp"
+#include "hash/keyspace.hpp"
+#include "moods/object.hpp"
+#include "sim/network.hpp"
+
+namespace peertrack::tracking {
+
+using chord::Key;
+using chord::NodeRef;
+using moods::Time;
+
+/// Greedy DHT routing wrapper: forwarded hop by hop toward the owner of
+/// `target`, then unwrapped and dispatched locally.
+struct RoutedEnvelope final : sim::Message {
+  Key target;
+  std::unique_ptr<sim::Message> inner;
+
+  std::string_view TypeName() const noexcept override { return "track.routed"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return 20 + (inner ? inner->ApproxBytes() : 0);
+  }
+};
+
+/// M1 (individual indexing): object `object` arrived at `at` (time
+/// `arrived`). `prev_hint` is unused by the paper's protocol but kept in
+/// the struct for wire-size parity with deployments that echo it.
+struct ObjectArrival final : sim::Message {
+  Key object;
+  NodeRef at;
+  Time arrived = 0.0;
+
+  std::string_view TypeName() const noexcept override { return "track.arrival"; }
+  std::size_t ApproxBytes() const noexcept override { return 20 + chord::kNodeRefBytes + 8; }
+};
+
+/// M1 (group indexing): one message per (window, prefix group).
+/// Wire format per the paper: (group id, (objects), timestamp).
+struct GroupArrival final : sim::Message {
+  hash::Prefix prefix;
+  NodeRef at;
+  std::vector<std::pair<Key, Time>> objects;
+
+  std::string_view TypeName() const noexcept override { return "track.group_arrival"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return 9 + chord::kNodeRefBytes + objects.size() * (20 + 8);
+  }
+};
+
+/// M2: tells the object's previous node where it went. Batched: one
+/// message per (gateway, previous-node) pair.
+struct IopToUpdate final : sim::Message {
+  struct Item {
+    Key object;
+    NodeRef to;
+    Time to_arrived = 0.0;
+  };
+  std::vector<Item> items;
+
+  std::string_view TypeName() const noexcept override { return "track.iop_to"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return items.size() * (20 + chord::kNodeRefBytes + 8);
+  }
+};
+
+/// M3: tells the object's new node where it came from. Batched: one
+/// message per (gateway, capturing-node) pair.
+struct IopFromUpdate final : sim::Message {
+  struct Item {
+    Key object;
+    Time arrived = 0.0;          ///< Arrival time at the receiving node.
+    NodeRef from;                ///< Invalid => first appearance.
+    Time from_arrived = 0.0;     ///< Arrival time at `from` (visit id there).
+  };
+  std::vector<Item> items;
+
+  std::string_view TypeName() const noexcept override { return "track.iop_from"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return items.size() * (20 + 8 + chord::kNodeRefBytes + 8);
+  }
+};
+
+/// Gateway-index replication (extension; see DESIGN.md): every index
+/// update is mirrored to the gateway's ring successor, which by Chord's
+/// ownership rule becomes the key's owner if the gateway crashes — so the
+/// backup is exactly where queries will look next.
+struct ReplicaUpdate final : sim::Message {
+  struct Item {
+    Key object;
+    NodeRef latest_node;
+    Time latest_arrived = 0.0;
+  };
+  std::vector<Item> items;
+
+  std::string_view TypeName() const noexcept override { return "track.replica"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return items.size() * (20 + chord::kNodeRefBytes + 8);
+  }
+};
+
+/// Query routing probe (paper Section IV-B): the querying node walks the
+/// overlay toward the object's gateway key, asking each hop whether it can
+/// already answer from local IOP.
+struct TraceProbe final : sim::Message {
+  std::uint64_t query_id = 0;
+  Key object;
+  Key routing_target;  ///< hash(object) or hash(prefix) depending on mode.
+  bool allow_intercept = true;  ///< Locate queries need the gateway's
+                                ///< authoritative latest; no interception.
+
+  std::string_view TypeName() const noexcept override { return "track.probe"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 40 + 1; }
+};
+
+struct TraceProbeReply final : sim::Message {
+  enum class Kind : std::uint8_t {
+    kNextHop,     ///< Keep routing; `node` is the next hop.
+    kHasIop,      ///< I witnessed the object; walk can start from me.
+    kGatewayHit,  ///< I am the gateway; `node`/`arrived` give latest location.
+    kNotFound,    ///< I am the gateway; the object is unknown.
+  };
+  std::uint64_t query_id = 0;
+  Kind kind = Kind::kNextHop;
+  NodeRef node;
+  Time arrived = 0.0;  ///< For kGatewayHit: arrival time at latest node.
+                       ///< For kHasIop: arrival time of my latest visit.
+
+  std::string_view TypeName() const noexcept override { return "track.probe_reply"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 1 + chord::kNodeRefBytes + 8; }
+};
+
+/// One step of the IOP walk: ask a node for its visit record of `object`
+/// identified by arrival time.
+struct IopWalkRequest final : sim::Message {
+  std::uint64_t query_id = 0;
+  Key object;
+  Time arrived = 0.0;
+
+  std::string_view TypeName() const noexcept override { return "track.walk_req"; }
+  std::size_t ApproxBytes() const noexcept override { return 8 + 20 + 8; }
+};
+
+struct IopWalkResponse final : sim::Message {
+  std::uint64_t query_id = 0;
+  bool found = false;
+  Time arrived = 0.0;
+  bool has_from = false;
+  NodeRef from;             ///< Valid iff a predecessor visit exists.
+  Time from_arrived = 0.0;
+  bool has_to = false;
+  NodeRef to;
+  Time to_arrived = 0.0;
+
+  std::string_view TypeName() const noexcept override { return "track.walk_resp"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return 8 + 1 + 8 + 2 * (1 + chord::kNodeRefBytes + 8);
+  }
+};
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,71 @@
+#include "tracking/prediction.hpp"
+
+#include <algorithm>
+
+namespace peertrack::tracking {
+
+void MovementPredictor::ObserveTrace(const std::vector<TrackerNode::TraceStep>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    SourceStats& stats = transitions_[path[i].node.actor];
+    ++stats.next_counts[path[i + 1].node.actor];
+    ++stats.total;
+    ++total_transitions_;
+    stats.dwell_ms.Add(path[i + 1].arrived - path[i].arrived);
+  }
+}
+
+void MovementPredictor::ObserveSequence(const std::vector<sim::ActorId>& nodes) {
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    SourceStats& stats = transitions_[nodes[i]];
+    ++stats.next_counts[nodes[i + 1]];
+    ++stats.total;
+    ++total_transitions_;
+  }
+}
+
+std::vector<MovementPredictor::Prediction> MovementPredictor::NextFrom(
+    sim::ActorId node, std::size_t top_k) const {
+  std::vector<Prediction> predictions;
+  const auto it = transitions_.find(node);
+  if (it == transitions_.end()) return predictions;
+  const SourceStats& stats = it->second;
+  const double denominator =
+      static_cast<double>(stats.total) +
+      smoothing_ * static_cast<double>(stats.next_counts.size());
+  predictions.reserve(stats.next_counts.size());
+  for (const auto& [next, count] : stats.next_counts) {
+    Prediction p;
+    p.node = next;
+    p.probability = (static_cast<double>(count) + smoothing_) / denominator;
+    p.expected_dwell_ms = stats.dwell_ms.Mean();
+    predictions.push_back(p);
+  }
+  std::sort(predictions.begin(), predictions.end(),
+            [](const Prediction& a, const Prediction& b) {
+              if (a.probability != b.probability) return a.probability > b.probability;
+              return a.node < b.node;  // Deterministic tie-break.
+            });
+  if (top_k > 0 && predictions.size() > top_k) predictions.resize(top_k);
+  return predictions;
+}
+
+double MovementPredictor::TransitionProbability(sim::ActorId from,
+                                                sim::ActorId to) const {
+  const auto it = transitions_.find(from);
+  if (it == transitions_.end()) return 0.0;
+  const SourceStats& stats = it->second;
+  const auto count_it = stats.next_counts.find(to);
+  const double count =
+      count_it == stats.next_counts.end() ? 0.0 : static_cast<double>(count_it->second);
+  const double denominator =
+      static_cast<double>(stats.total) +
+      smoothing_ * static_cast<double>(stats.next_counts.size() + 1);
+  return denominator == 0.0 ? 0.0 : (count + smoothing_) / denominator;
+}
+
+double MovementPredictor::MeanDwellMs(sim::ActorId node) const {
+  const auto it = transitions_.find(node);
+  return it == transitions_.end() ? 0.0 : it->second.dwell_ms.Mean();
+}
+
+}  // namespace peertrack::tracking

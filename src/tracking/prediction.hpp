@@ -1,0 +1,68 @@
+#pragma once
+// Movement prediction — the paper's stated future work ("add capabilities
+// for predicting future status of objects", Section VII), implemented as a
+// first-order Markov model over observed traces.
+//
+// The predictor consumes completed trace-query results (so it runs at any
+// querying organization without extra protocol support) and learns
+// node-to-node transition frequencies plus per-node dwell times. It then
+// answers "where will object o go next, and roughly when?" with smoothed
+// probabilities. This matches the discrete-space MOODS view: predictions
+// are over the finite node set, not a continuous region.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "tracking/tracker_node.hpp"
+#include "util/stats.hpp"
+
+namespace peertrack::tracking {
+
+class MovementPredictor {
+ public:
+  /// Laplace smoothing constant for unseen transitions (0 = max-likelihood).
+  explicit MovementPredictor(double smoothing = 0.0) : smoothing_(smoothing) {}
+
+  /// Learn from one object trajectory (node actors with arrival times, as a
+  /// TraceResult provides).
+  void ObserveTrace(const std::vector<TrackerNode::TraceStep>& path);
+
+  /// Convenience: learn from a sequence of node ids only.
+  void ObserveSequence(const std::vector<sim::ActorId>& nodes);
+
+  struct Prediction {
+    sim::ActorId node = sim::kInvalidActor;
+    double probability = 0.0;
+    double expected_dwell_ms = 0.0;  ///< Mean observed dwell at the source.
+  };
+
+  /// Most likely next hops from `node`, highest probability first.
+  /// `top_k = 0` returns all known candidates.
+  std::vector<Prediction> NextFrom(sim::ActorId node, std::size_t top_k = 3) const;
+
+  /// P(next = to | at = from), with Laplace smoothing over the observed
+  /// candidate set. 0 when `from` was never seen as a source.
+  double TransitionProbability(sim::ActorId from, sim::ActorId to) const;
+
+  /// Mean dwell time (ms between arrival and departure) observed at `node`;
+  /// 0 when unknown.
+  double MeanDwellMs(sim::ActorId node) const;
+
+  std::uint64_t ObservedTransitions() const noexcept { return total_transitions_; }
+  std::size_t KnownSources() const noexcept { return transitions_.size(); }
+
+ private:
+  struct SourceStats {
+    std::map<sim::ActorId, std::uint64_t> next_counts;
+    std::uint64_t total = 0;
+    util::RunningStats dwell_ms;
+  };
+
+  double smoothing_;
+  std::unordered_map<sim::ActorId, SourceStats> transitions_;
+  std::uint64_t total_transitions_ = 0;
+};
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,63 @@
+#include "tracking/prefix_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace peertrack::tracking {
+
+namespace {
+
+unsigned Clamp(double lp_raw, unsigned lmin) {
+  if (!(lp_raw > 0.0)) return lmin;
+  const double ceiled = std::ceil(lp_raw);
+  const auto lp = static_cast<unsigned>(std::min(ceiled, 64.0));
+  return std::max(lp, lmin);
+}
+
+}  // namespace
+
+unsigned PrefixLengthFor(PrefixScheme scheme, std::size_t nodes, unsigned lmin) {
+  if (nodes < 2) return lmin;
+  const double n = static_cast<double>(nodes);
+  const double log_n = std::log2(n);
+  switch (scheme) {
+    case PrefixScheme::kLogN:
+      return Clamp(log_n, lmin);
+    case PrefixScheme::kLogNLogLogN:
+      return Clamp(log_n + std::log2(std::max(log_n, 1.0)), lmin);
+    case PrefixScheme::kTwoLogN:
+      return Clamp(2.0 * log_n, lmin);
+  }
+  return lmin;
+}
+
+double DeltaForPrefixLength(unsigned lp, std::size_t nodes) {
+  if (nodes == 0) return 0.0;
+  if (nodes == 1) return 1.0;
+  const double n = static_cast<double>(nodes);
+  const double m = std::pow(2.0, static_cast<double>(std::min(lp, 64u)));
+  // 1 - ((n-1)/n)^m, computed in log space to avoid underflow for large m.
+  const double log_term = m * std::log((n - 1.0) / n);
+  return 1.0 - std::exp(log_term);
+}
+
+std::size_t NodesUntilNextIncrement(std::size_t nodes, unsigned lmin) {
+  const unsigned current = PrefixLengthFor(PrefixScheme::kLogNLogLogN, nodes, lmin);
+  for (std::size_t extra = 1; extra < nodes * 4 + 16; ++extra) {
+    if (PrefixLengthFor(PrefixScheme::kLogNLogLogN, nodes + extra, lmin) > current) {
+      return extra;
+    }
+  }
+  return 0;  // No increment within the searched horizon.
+}
+
+std::string SchemeName(PrefixScheme scheme) {
+  switch (scheme) {
+    case PrefixScheme::kLogN: return "scheme1(log2 N)";
+    case PrefixScheme::kLogNLogLogN: return "scheme2(log2 N + log2 log2 N)";
+    case PrefixScheme::kTwoLogN: return "scheme3(2 log2 N)";
+  }
+  return "unknown";
+}
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,38 @@
+#pragma once
+// Prefix-length (Lp) selection — paper Section IV-A1, Equations 4-6, and
+// the three schemes evaluated in Section V-C.
+//
+//   Scheme 1: Lp = ceil(log2 Nn)                       (fewest groups)
+//   Scheme 2: Lp = ceil(log2 Nn + log2 log2 Nn)        (the paper's choice)
+//   Scheme 3: Lp = ceil(2 * log2 Nn)                   (best balance, costly)
+//
+// Scheme 2 comes from requiring m = 2^Lp ≈ Nn log2 Nn groups so that the
+// probability δ = 1 - ((Nn-1)/Nn)^m that a node indexes at least one group
+// tends to 1 (coupon-collector argument, Equation 5).
+
+#include <cstdint>
+#include <string>
+
+namespace peertrack::tracking {
+
+enum class PrefixScheme : int {
+  kLogN = 1,        ///< Scheme 1.
+  kLogNLogLogN = 2, ///< Scheme 2 (paper default).
+  kTwoLogN = 3,     ///< Scheme 3.
+};
+
+/// Lp for `scheme` at network size `nodes`, clamped to [lmin, 64].
+/// Network sizes below 2 yield lmin.
+unsigned PrefixLengthFor(PrefixScheme scheme, std::size_t nodes, unsigned lmin);
+
+/// Equation 4: probability that a given node indexes at least one of the
+/// m = 2^lp groups, for `nodes` nodes.
+double DeltaForPrefixLength(unsigned lp, std::size_t nodes);
+
+/// Equation 7's increment question: smallest number of additional nodes
+/// that bumps Scheme-2 Lp by one, from network size `nodes`.
+std::size_t NodesUntilNextIncrement(std::size_t nodes, unsigned lmin);
+
+std::string SchemeName(PrefixScheme scheme);
+
+}  // namespace peertrack::tracking

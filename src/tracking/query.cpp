@@ -1,0 +1,331 @@
+// Query processing (paper Section IV-B).
+//
+// A trace query routes iteratively toward the object's gateway key. Each
+// probed hop may intercept the query if it has IOP state for the object
+// (Section III: "if any node along the route ... has the information of the
+// object, the trace query can be processed from this node"). Once an
+// answering node is found, the querying node walks the distributed
+// doubly-linked IOP list: backward along `from` links to the first
+// appearance, then forward along `to` links to the current location.
+
+#include "tracking/tracker_node.hpp"
+#include "util/logging.hpp"
+
+namespace peertrack::tracking {
+
+namespace {
+
+chord::Key RoutingTargetFor(IndexingMode mode, const hash::UInt160& object,
+                            unsigned lp) {
+  if (mode == IndexingMode::kIndividual) return object;
+  return hash::GroupKey(hash::Prefix::OfKey(object, lp));
+}
+
+}  // namespace
+
+void TrackerNode::TraceQuery(const hash::UInt160& object, TraceCallback callback) {
+  PendingQuery query;
+  query.object = object;
+  query.locate_only = false;
+  query.trace_callback = std::move(callback);
+  StartQuery(object, std::move(query));
+}
+
+void TrackerNode::LocateQuery(const hash::UInt160& object, LocateCallback callback) {
+  PendingQuery query;
+  query.object = object;
+  query.locate_only = true;
+  query.locate_callback = std::move(callback);
+  StartQuery(object, std::move(query));
+}
+
+void TrackerNode::StartQuery(const hash::UInt160& object, PendingQuery query) {
+  query.target = RoutingTargetFor(config_.mode, object, CurrentLp());
+  query.issued_at = chord_.network().simulator().Now();
+  const std::uint64_t query_id = next_query_id_++;
+  if (config_.query_timeout_ms > 0.0) {
+    query.timeout = chord_.network().simulator().ScheduleAfter(
+        config_.query_timeout_ms, [this, query_id] {
+          if (queries_.contains(query_id)) {
+            chord_.network().metrics().Bump("track.query_timeout");
+            FinishQuery(query_id, false);
+          }
+        });
+  }
+
+  // Local interception: the issuing node may have witnessed the object
+  // itself (trace queries only — locate needs the authoritative latest).
+  if (!query.locate_only && iop_.Knows(object)) {
+    const auto* visits = iop_.VisitsOf(object);
+    const moods::Time arrived = visits->back().arrived;
+    queries_.emplace(query_id, std::move(query));
+    BeginWalk(query_id, Self(), arrived);
+    return;
+  }
+  // Local gateway: the issuing node may own the target key.
+  if (chord_.Owns(query.target)) {
+    const IndexEntry* entry = config_.mode == IndexingMode::kIndividual
+                                  ? individual_.Find(object)
+                                  : TriangleLookup(object, CurrentLp());
+    if (entry == nullptr && config_.replicate_index) entry = ReplicaLookup(object);
+    if (entry == nullptr) {
+      queries_.emplace(query_id, std::move(query));
+      FinishQuery(query_id, false);
+      return;
+    }
+    const chord::NodeRef latest_node = entry->latest_node;
+    const moods::Time latest_arrived = entry->latest_arrived;
+    queries_.emplace(query_id, std::move(query));
+    if (queries_.at(query_id).locate_only) {
+      auto& q = queries_.at(query_id);
+      q.steps.emplace(latest_arrived, latest_node);
+      FinishQuery(query_id, true);
+      return;
+    }
+    BeginWalk(query_id, latest_node, latest_arrived);
+    return;
+  }
+
+  const auto step = chord_.NextRouteStep(query.target);
+  queries_.emplace(query_id, std::move(query));
+  ProbeStep(query_id, step.node);
+}
+
+void TrackerNode::ProbeStep(std::uint64_t query_id, const chord::NodeRef& target_node) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& query = it->second;
+  if (query.probe_steps >= config_.max_probe_steps) {
+    util::LogWarn("query for {} exceeded probe budget", query.object.ToShortHex());
+    FinishQuery(query_id, false);
+    return;
+  }
+  ++query.probe_steps;
+  query.probe_current = target_node;
+
+  auto probe = std::make_unique<TraceProbe>();
+  probe->query_id = query_id;
+  probe->object = query.object;
+  probe->routing_target = query.target;
+  probe->allow_intercept = !query.locate_only;
+  chord_.network().Send(Self().actor, target_node.actor, std::move(probe));
+}
+
+void TrackerNode::HandleProbe(sim::ActorId from, const TraceProbe& probe) {
+  auto reply = std::make_unique<TraceProbeReply>();
+  reply->query_id = probe.query_id;
+
+  if (probe.allow_intercept && iop_.Knows(probe.object)) {
+    const auto* visits = iop_.VisitsOf(probe.object);
+    reply->kind = TraceProbeReply::Kind::kHasIop;
+    reply->node = Self();
+    reply->arrived = visits->back().arrived;
+  } else if (chord_.Owns(probe.routing_target)) {
+    const IndexEntry* entry = config_.mode == IndexingMode::kIndividual
+                                  ? individual_.Find(probe.object)
+                                  : TriangleLookup(probe.object, CurrentLp());
+    if (entry == nullptr && config_.replicate_index) {
+      entry = ReplicaLookup(probe.object);
+      if (entry != nullptr) {
+        chord_.network().metrics().Bump("track.replica_hit");
+      }
+    }
+    if (entry != nullptr) {
+      reply->kind = TraceProbeReply::Kind::kGatewayHit;
+      reply->node = entry->latest_node;
+      reply->arrived = entry->latest_arrived;
+    } else {
+      reply->kind = TraceProbeReply::Kind::kNotFound;
+    }
+  } else {
+    const auto step = chord_.NextRouteStep(probe.routing_target);
+    if (step.node.actor == Self().actor) {
+      // Cannot make progress (immature routing state): declare not found
+      // rather than loop.
+      reply->kind = TraceProbeReply::Kind::kNotFound;
+    } else {
+      reply->kind = TraceProbeReply::Kind::kNextHop;
+      reply->node = step.node;
+    }
+  }
+  chord_.network().Send(Self().actor, from, std::move(reply));
+}
+
+void TrackerNode::HandleProbeReply(const TraceProbeReply& reply) {
+  auto it = queries_.find(reply.query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& query = it->second;
+
+  switch (reply.kind) {
+    case TraceProbeReply::Kind::kNextHop:
+      if (reply.node.actor == query.probe_current.actor) {
+        FinishQuery(reply.query_id, false);
+        return;
+      }
+      ProbeStep(reply.query_id, reply.node);
+      return;
+    case TraceProbeReply::Kind::kNotFound:
+      FinishQuery(reply.query_id, false);
+      return;
+    case TraceProbeReply::Kind::kHasIop:
+      // Locate queries set allow_intercept=false, so this only occurs for
+      // trace queries.
+      BeginWalk(reply.query_id, reply.node, reply.arrived);
+      return;
+    case TraceProbeReply::Kind::kGatewayHit:
+      if (query.locate_only) {
+        query.steps.emplace(reply.arrived, reply.node);
+        FinishQuery(reply.query_id, true);
+        return;
+      }
+      BeginWalk(reply.query_id, reply.node, reply.arrived);
+      return;
+  }
+}
+
+void TrackerNode::BeginWalk(std::uint64_t query_id, const chord::NodeRef& node,
+                            moods::Time arrived) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& query = it->second;
+  query.walking_backward = true;
+  query.walk_node = node;
+  query.walk_arrived = arrived;
+  query.forward_pending = false;
+  WalkStep(query_id);
+}
+
+void TrackerNode::WalkStep(std::uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& query = it->second;
+
+  auto request = std::make_unique<IopWalkRequest>();
+  request->query_id = query_id;
+  request->object = query.object;
+  request->arrived =
+      query.walking_backward ? query.walk_arrived : query.forward_arrived;
+  const chord::NodeRef& target =
+      query.walking_backward ? query.walk_node : query.forward_node;
+  chord_.network().Send(Self().actor, target.actor, std::move(request));
+}
+
+void TrackerNode::HandleWalkRequest(sim::ActorId from, const IopWalkRequest& request) {
+  auto response = std::make_unique<IopWalkResponse>();
+  response->query_id = request.query_id;
+  const moods::Visit* visit = iop_.VisitAt(request.object, request.arrived);
+  if (visit == nullptr) {
+    // Arrival-time mismatch (e.g. in-flight M3): fall back to the nearest
+    // earlier visit so the walk degrades gracefully instead of aborting.
+    visit = iop_.VisitAtOrBefore(request.object, request.arrived);
+  }
+  if (visit != nullptr) {
+    response->found = true;
+    response->arrived = visit->arrived;
+    // Defensive monotonicity guards: a from-link must point strictly into
+    // the past and a to-link strictly into the future, or a corrupted
+    // chain could cycle the walk forever.
+    if (visit->from.has_value() && visit->from->Valid() &&
+        visit->from_arrived.value_or(-1.0) < visit->arrived) {
+      response->has_from = true;
+      response->from = *visit->from;
+      response->from_arrived = visit->from_arrived.value_or(0.0);
+    }
+    if (visit->to.has_value() && visit->to->Valid() &&
+        visit->to_arrived.value_or(-1.0) > visit->arrived) {
+      response->has_to = true;
+      response->to = *visit->to;
+      response->to_arrived = visit->to_arrived.value_or(0.0);
+    }
+  }
+  chord_.network().Send(Self().actor, from, std::move(response));
+}
+
+void TrackerNode::HandleWalkResponse(const IopWalkResponse& response) {
+  auto it = queries_.find(response.query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& query = it->second;
+
+  if (!response.found) {
+    // Dead link: complete with what was collected so far.
+    if (query.walking_backward && query.forward_pending) {
+      query.walking_backward = false;
+      WalkStep(response.query_id);
+      return;
+    }
+    FinishQuery(response.query_id, !query.steps.empty());
+    return;
+  }
+
+  const chord::NodeRef visited_node =
+      query.walking_backward ? query.walk_node : query.forward_node;
+  query.steps.emplace(response.arrived, visited_node);
+
+  if (query.walking_backward) {
+    // Arm the forward phase off the very first (latest-known) visit: if it
+    // has a `to` link, the object moved past the point our answer source
+    // knew about (intermediate-node interception case).
+    if (query.steps.size() == 1 && response.has_to) {
+      query.forward_pending = true;
+      query.forward_node = response.to;
+      query.forward_arrived = response.to_arrived;
+    }
+    if (response.has_from) {
+      query.walk_node = response.from;
+      query.walk_arrived = response.from_arrived;
+      WalkStep(response.query_id);
+      return;
+    }
+    // Backward walk reached the first appearance.
+    if (query.forward_pending) {
+      query.walking_backward = false;
+      WalkStep(response.query_id);
+      return;
+    }
+    FinishQuery(response.query_id, true);
+    return;
+  }
+
+  // Forward phase.
+  if (response.has_to) {
+    query.forward_node = response.to;
+    query.forward_arrived = response.to_arrived;
+    WalkStep(response.query_id);
+    return;
+  }
+  FinishQuery(response.query_id, true);
+}
+
+void TrackerNode::FinishQuery(std::uint64_t query_id, bool ok) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  PendingQuery query = std::move(it->second);
+  queries_.erase(it);
+  query.timeout.Cancel();
+
+  const moods::Time now = chord_.network().simulator().Now();
+  if (query.locate_only) {
+    LocateResult result;
+    result.ok = ok && !query.steps.empty();
+    if (result.ok) {
+      result.node = query.steps.rbegin()->second;
+      result.arrived = query.steps.rbegin()->first;
+    }
+    result.issued_at = query.issued_at;
+    result.completed_at = now;
+    if (query.locate_callback) query.locate_callback(std::move(result));
+    return;
+  }
+  TraceResult result;
+  result.ok = ok && !query.steps.empty();
+  result.path.reserve(query.steps.size());
+  for (const auto& [arrived, node] : query.steps) {
+    result.path.push_back(TraceStep{node, arrived});
+  }
+  result.issued_at = query.issued_at;
+  result.completed_at = now;
+  result.probe_hops = query.probe_steps;
+  if (query.trace_callback) query.trace_callback(std::move(result));
+}
+
+}  // namespace peertrack::tracking

@@ -1,0 +1,343 @@
+#include "tracking/tracker_node.hpp"
+
+#include "util/logging.hpp"
+
+namespace peertrack::tracking {
+
+TrackerNode::TrackerNode(chord::ChordNode& chord, PeerDirectory& peers,
+                         GlobalPrefixState& global_lp, TrackerConfig config)
+    : chord_(chord),
+      peers_(peers),
+      global_lp_(global_lp),
+      config_(config),
+      window_(config.window),
+      flood_(chord.network(), chord.Self(), iop_) {
+  chord_.SetAppHandler(this);
+}
+
+moods::Receptor& TrackerNode::AddReceptor(std::string name) {
+  receptors_.push_back(std::make_unique<moods::Receptor>(
+      std::move(name),
+      [this](const moods::Object& object, moods::Time at) { OnCapture(object, at); }));
+  return *receptors_.back();
+}
+
+// --- Capture path ---------------------------------------------------------
+
+void TrackerNode::OnCapture(const moods::Object& object, moods::Time at) {
+  OnCapture(object.Key(), at);
+}
+
+void TrackerNode::OnCapture(const hash::UInt160& object_key, moods::Time at) {
+  iop_.RecordArrival(object_key, at);
+  if (config_.mode == IndexingMode::kIndividual) {
+    IndexIndividually(object_key, at);
+  } else {
+    BufferForGroupIndexing(object_key, at);
+  }
+}
+
+void TrackerNode::IndexIndividually(const hash::UInt160& object, moods::Time at) {
+  auto report = std::make_unique<ObjectArrival>();
+  report->object = object;
+  report->at = Self();
+  report->arrived = at;
+  RoutedSend(object, std::move(report));
+}
+
+void TrackerNode::BufferForGroupIndexing(const hash::UInt160& object, moods::Time at) {
+  const bool was_empty = window_.Empty();
+  const bool full = window_.Add(object, at);
+  if (full) {
+    FlushWindow();
+  } else if (was_empty) {
+    ArmWindowTimer();
+  }
+}
+
+void TrackerNode::ArmWindowTimer() {
+  const std::uint64_t generation = window_generation_;
+  window_timer_ = chord_.network().simulator().ScheduleAt(
+      window_.Deadline(), [this, generation] {
+        if (generation == window_generation_ && !window_.Empty()) FlushWindow();
+      });
+}
+
+void TrackerNode::FlushWindow() {
+  if (window_.Empty()) return;
+  ++window_generation_;
+  window_timer_.Cancel();
+  auto groups = window_.CloseAndGroup(CurrentLp());
+  chord_.network().metrics().Bump("track.window_flush");
+  for (auto& [prefix, members] : groups) {
+    auto report = std::make_unique<GroupArrival>();
+    report->prefix = prefix;
+    report->at = Self();
+    report->objects = std::move(members);
+    RoutedSend(hash::GroupKey(prefix), std::move(report));
+  }
+}
+
+// --- DHT-routed delivery ----------------------------------------------------
+
+void TrackerNode::RoutedSend(const chord::Key& target,
+                             std::unique_ptr<sim::Message> inner) {
+  if (chord_.Owns(target)) {
+    DispatchInner(std::move(inner));
+    return;
+  }
+  auto envelope = std::make_unique<RoutedEnvelope>();
+  envelope->target = target;
+  envelope->inner = std::move(inner);
+  const auto step = chord_.NextRouteStep(target);
+  chord_.network().Send(Self().actor, step.node.actor, std::move(envelope));
+}
+
+void TrackerNode::HandleEnvelope(std::unique_ptr<RoutedEnvelope> envelope) {
+  if (chord_.Owns(envelope->target)) {
+    DispatchInner(std::move(envelope->inner));
+    return;
+  }
+  const auto step = chord_.NextRouteStep(envelope->target);
+  if (step.node.actor == Self().actor) {
+    // Routing dead-end (immature tables): deliver here rather than loop.
+    DispatchInner(std::move(envelope->inner));
+    return;
+  }
+  chord_.network().Send(Self().actor, step.node.actor, std::move(envelope));
+}
+
+void TrackerNode::DispatchInner(std::unique_ptr<sim::Message> inner) {
+  if (auto* arrival = dynamic_cast<ObjectArrival*>(inner.get())) {
+    HandleObjectArrival(*arrival);
+    return;
+  }
+  if (auto* group = dynamic_cast<GroupArrival*>(inner.get())) {
+    HandleGroupArrival(*group);
+    return;
+  }
+  util::LogWarn("tracker {}: unexpected routed payload {}", Self().Describe(),
+                inner->TypeName());
+}
+
+// --- Gateway handlers -------------------------------------------------------
+
+void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
+  ++objects_indexed_;
+  const IndexEntry* previous = individual_.Find(arrival.object);
+
+  auto m3 = std::make_unique<IopFromUpdate>();
+  IopFromUpdate::Item item;
+  item.object = arrival.object;
+  item.arrived = arrival.arrived;
+  if (previous != nullptr && previous->latest_arrived <= arrival.arrived) {
+    item.from = previous->latest_node;
+    item.from_arrived = previous->latest_arrived;
+    auto m2 = std::make_unique<IopToUpdate>();
+    m2->items.push_back({arrival.object, arrival.at, arrival.arrived});
+    chord_.network().Send(Self().actor, previous->latest_node.actor, std::move(m2));
+  } else if (previous != nullptr) {
+    // Report older than the index: cross-node reordering. Linking it into
+    // the middle of the list is ambiguous from latest-only state; record
+    // the anomaly and treat it as a first appearance for IOP purposes.
+    chord_.network().metrics().Bump("track.stale_arrival");
+  }
+  m3->items.push_back(item);
+  chord_.network().Send(Self().actor, arrival.at.actor, std::move(m3));
+
+  if (previous == nullptr || previous->latest_arrived <= arrival.arrived) {
+    individual_.Upsert(arrival.object, IndexEntry{arrival.at, arrival.arrived});
+    if (config_.replicate_index) {
+      ReplicateEntries({{arrival.object, arrival.at, arrival.arrived}});
+    }
+  }
+}
+
+void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
+  objects_indexed_ += arrival.objects.size();
+  chord_.network().metrics().Bump("track.group_handled");
+  PrefixBucket& bucket = store_.BucketFor(arrival.prefix);
+
+  // Figure 5, `index`: objects with no local record are refreshed from
+  // ascents and descents before the index is updated.
+  if (config_.enable_triangle) {
+    std::vector<hash::UInt160> unknown;
+    for (const auto& [object, _] : arrival.objects) {
+      if (bucket.Find(object) == nullptr) unknown.push_back(object);
+    }
+    if (!unknown.empty()) {
+      if (config_.always_refresh_ascent) {
+        RefreshFromAscent(unknown, arrival.prefix, bucket);
+      }
+      if (!unknown.empty() && delegated_children_.contains(arrival.prefix)) {
+        RefreshFromDescent(unknown, arrival.prefix, bucket, 0);
+      }
+    }
+  }
+
+  // Figure 5, `update_index` + the batched M2/M3 exchange: one IopToUpdate
+  // per distinct previous node, one IopFromUpdate back to the capturer.
+  auto m3 = std::make_unique<IopFromUpdate>();
+  std::map<sim::ActorId, std::unique_ptr<IopToUpdate>> m2_batches;
+  for (const auto& [object, arrived] : arrival.objects) {
+    const IndexEntry* previous = bucket.Find(object);
+    IopFromUpdate::Item item;
+    item.object = object;
+    item.arrived = arrived;
+    if (previous != nullptr && previous->latest_arrived <= arrived) {
+      item.from = previous->latest_node;
+      item.from_arrived = previous->latest_arrived;
+      auto& batch = m2_batches[previous->latest_node.actor];
+      if (!batch) batch = std::make_unique<IopToUpdate>();
+      batch->items.push_back({object, arrival.at, arrived});
+    } else if (previous != nullptr) {
+      chord_.network().metrics().Bump("track.stale_arrival");
+    }
+    m3->items.push_back(item);
+    if (previous == nullptr || previous->latest_arrived <= arrived) {
+      bucket.Upsert(object, IndexEntry{arrival.at, arrived});
+    }
+  }
+  for (auto& [actor, batch] : m2_batches) {
+    chord_.network().Send(Self().actor, actor, std::move(batch));
+  }
+  chord_.network().Send(Self().actor, arrival.at.actor, std::move(m3));
+
+  if (config_.replicate_index) {
+    std::vector<ReplicaUpdate::Item> items;
+    items.reserve(arrival.objects.size());
+    for (const auto& [object, arrived] : arrival.objects) {
+      if (const IndexEntry* entry = bucket.Find(object)) {
+        items.push_back({object, entry->latest_node, entry->latest_arrived});
+      }
+    }
+    ReplicateEntries(items);
+  }
+
+  if (config_.enable_triangle) MaybeDelegate(arrival.prefix, bucket);
+}
+
+void TrackerNode::ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items) {
+  if (items.empty()) return;
+  const chord::NodeRef successor = chord_.Successor();
+  if (successor.actor == Self().actor) return;  // Single-node ring.
+  auto update = std::make_unique<ReplicaUpdate>();
+  update->items = items;
+  chord_.network().Send(Self().actor, successor.actor, std::move(update));
+}
+
+void TrackerNode::HandleReplica(const ReplicaUpdate& update) {
+  for (const auto& item : update.items) {
+    const IndexEntry* existing = replica_.Find(item.object);
+    if (existing == nullptr || existing->latest_arrived <= item.latest_arrived) {
+      replica_.Upsert(item.object, IndexEntry{item.latest_node, item.latest_arrived});
+    }
+  }
+}
+
+void TrackerNode::HandleIopTo(const IopToUpdate& update) {
+  for (const auto& item : update.items) {
+    iop_.SetTo(item.object, item.to, item.to_arrived);
+  }
+}
+
+void TrackerNode::HandleIopFrom(const IopFromUpdate& update) {
+  for (const auto& item : update.items) {
+    iop_.SetFrom(item.object, item.arrived,
+                 item.from.Valid() ? item.from : chord::NodeRef{},
+                 item.from.Valid() ? std::optional<moods::Time>(item.from_arrived)
+                                   : std::nullopt);
+  }
+}
+
+// --- AppHandler --------------------------------------------------------------
+
+void TrackerNode::OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
+  if (auto* envelope = dynamic_cast<RoutedEnvelope*>(message.get())) {
+    message.release();
+    HandleEnvelope(std::unique_ptr<RoutedEnvelope>(envelope));
+    return;
+  }
+  if (auto* m2 = dynamic_cast<IopToUpdate*>(message.get())) {
+    HandleIopTo(*m2);
+    return;
+  }
+  if (auto* m3 = dynamic_cast<IopFromUpdate*>(message.get())) {
+    HandleIopFrom(*m3);
+    return;
+  }
+  if (auto* replica = dynamic_cast<ReplicaUpdate*>(message.get())) {
+    HandleReplica(*replica);
+    return;
+  }
+  if (auto* flood_probe = dynamic_cast<FloodProbe*>(message.get())) {
+    flood_.HandleProbe(from, *flood_probe);
+    return;
+  }
+  if (auto* flood_reply = dynamic_cast<FloodReply*>(message.get())) {
+    flood_.HandleReply(from, *flood_reply);
+    return;
+  }
+  if (auto* probe = dynamic_cast<TraceProbe*>(message.get())) {
+    HandleProbe(from, *probe);
+    return;
+  }
+  if (auto* reply = dynamic_cast<TraceProbeReply*>(message.get())) {
+    HandleProbeReply(*reply);
+    return;
+  }
+  if (auto* walk = dynamic_cast<IopWalkRequest*>(message.get())) {
+    HandleWalkRequest(from, *walk);
+    return;
+  }
+  if (auto* walk_resp = dynamic_cast<IopWalkResponse*>(message.get())) {
+    HandleWalkResponse(*walk_resp);
+    return;
+  }
+  util::LogWarn("tracker {}: unhandled app message {}", Self().Describe(),
+                message->TypeName());
+}
+
+void TrackerNode::OnRangeTransfer(const chord::Key& lo, const chord::Key& hi,
+                                  const chord::NodeRef& new_owner) {
+  TrackerNode* peer = peers_.TrackerByActor(new_owner.actor);
+  if (peer == nullptr || peer == this) return;
+
+  // Individual-mode entries keyed in (lo, hi] move to the new owner.
+  std::vector<std::pair<hash::UInt160, IndexEntry>> moving;
+  for (const auto& [object, entry] : individual_.Entries()) {
+    if (object.InHalfOpenLoHi(lo, hi)) moving.emplace_back(object, entry);
+  }
+  for (const auto& [object, _] : moving) individual_.Extract(object);
+  if (!moving.empty()) {
+    ChargeRpc("track.migrate", moving.size() * 52, "track.migrate_ack", 8,
+              new_owner.actor);
+    peer->AcceptIndividualEntries(std::move(moving));
+  }
+
+  // Prefix buckets whose gateway key falls in (lo, hi] move wholesale.
+  for (const auto& prefix : store_.Prefixes()) {
+    if (hash::GroupKey(prefix).InHalfOpenLoHi(lo, hi)) {
+      auto* bucket = store_.TryBucket(prefix);
+      auto entries = bucket->ExtractAll();
+      store_.DropIfEmpty(prefix);
+      if (!entries.empty()) {
+        ChargeRpc("track.migrate", entries.size() * 52, "track.migrate_ack", 8,
+                  new_owner.actor);
+        peer->AcceptEntries(prefix, std::move(entries));
+      }
+    }
+  }
+}
+
+void TrackerNode::AcceptIndividualEntries(
+    std::vector<std::pair<hash::UInt160, IndexEntry>> entries) {
+  for (auto& [object, entry] : entries) {
+    const IndexEntry* existing = individual_.Find(object);
+    if (existing == nullptr || existing->latest_arrived < entry.latest_arrived) {
+      individual_.Upsert(object, entry);
+    }
+  }
+}
+
+}  // namespace peertrack::tracking

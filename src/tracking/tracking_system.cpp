@@ -1,0 +1,159 @@
+#include "tracking/tracking_system.hpp"
+
+#include "util/format.hpp"
+
+namespace peertrack::tracking {
+
+TrackingSystem::TrackingSystem(std::size_t nodes, SystemConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      latency_(sim::MakeLatencyModel(config_.latency)),
+      network_(std::make_unique<sim::Network>(simulator_, *latency_, rng_)) {
+  chord::ChordRing::Options ring_options;
+  ring_options.stabilize_every_ms = config_.stabilize_every_ms;
+  ring_options.fix_fingers_every_ms = config_.fix_fingers_every_ms;
+  ring_ = std::make_unique<chord::ChordRing>(*network_, ring_options);
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ring_->AddNode(util::Format("org-{}", i));
+  }
+  ring_->OracleBootstrap();
+
+  global_lp_.lp = PrefixLengthFor(config_.scheme, nodes, config_.tracker.lmin);
+
+  trackers_.reserve(nodes);
+  actor_of_index_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    auto& chord_node = ring_->Node(i);
+    trackers_.push_back(std::make_unique<TrackerNode>(chord_node, *this, global_lp_,
+                                                      config_.tracker));
+    actor_of_index_.push_back(chord_node.Self().actor);
+    index_of_actor_.emplace(chord_node.Self().actor,
+                            static_cast<moods::NodeIndex>(i));
+    if (config_.stabilize_every_ms > 0.0 || config_.fix_fingers_every_ms > 0.0) {
+      chord_node.StartMaintenance(config_.stabilize_every_ms,
+                                  config_.fix_fingers_every_ms);
+    }
+  }
+}
+
+TrackingSystem::~TrackingSystem() = default;
+
+void TrackingSystem::CaptureAt(std::size_t node_index, const hash::UInt160& object,
+                               moods::Time at) {
+  oracle_.RecordMovement(object, static_cast<moods::NodeIndex>(node_index), at);
+  simulator_.ScheduleAt(at, [this, node_index, object] {
+    trackers_[node_index]->OnCapture(object, simulator_.Now());
+  });
+}
+
+void TrackingSystem::FlushAllWindows() {
+  for (auto& tracker : trackers_) tracker->FlushWindow();
+  simulator_.Run();
+}
+
+void TrackingSystem::TraceQuery(std::size_t origin_index, const hash::UInt160& object,
+                                TrackerNode::TraceCallback callback) {
+  simulator_.ScheduleAfter(0.0, [this, origin_index, object,
+                                 cb = std::move(callback)]() mutable {
+    trackers_[origin_index]->TraceQuery(object, std::move(cb));
+  });
+}
+
+void TrackingSystem::FloodTraceQuery(std::size_t origin_index,
+                                     const hash::UInt160& object,
+                                     FloodingQueryEngine::Callback callback) {
+  // Refresh membership lazily from the alive set.
+  std::vector<chord::NodeRef> peers;
+  peers.reserve(trackers_.size());
+  for (const auto& tracker : trackers_) {
+    if (tracker->chord().Alive()) peers.push_back(tracker->Self());
+  }
+  auto& engine = trackers_[origin_index]->flooding();
+  engine.SetMembership(std::move(peers));
+  simulator_.ScheduleAfter(0.0, [&engine, object, cb = std::move(callback)]() mutable {
+    engine.Query(object, std::move(cb));
+  });
+}
+
+void TrackingSystem::LocateQuery(std::size_t origin_index, const hash::UInt160& object,
+                                 TrackerNode::LocateCallback callback) {
+  simulator_.ScheduleAfter(0.0, [this, origin_index, object,
+                                 cb = std::move(callback)]() mutable {
+    trackers_[origin_index]->LocateQuery(object, std::move(cb));
+  });
+}
+
+void TrackingSystem::GrowNetwork(std::size_t extra) {
+  for (std::size_t j = 0; j < extra; ++j) {
+    const std::size_t index = trackers_.size();
+    auto& chord_node = ring_->AddNode(util::Format("org-{}", index));
+    chord_node.MarkAlive();  // Join the alive set before the ring rewires.
+    // The node that owned the newcomer's arc before it joined must hand
+    // that state over (what Notify/OnRangeTransfer does in the protocol).
+    TrackerNode* old_owner = OwnerOf(chord_node.Self().id);
+
+    trackers_.push_back(std::make_unique<TrackerNode>(chord_node, *this, global_lp_,
+                                                      config_.tracker));
+    actor_of_index_.push_back(chord_node.Self().actor);
+    index_of_actor_.emplace(chord_node.Self().actor,
+                            static_cast<moods::NodeIndex>(index));
+    ring_->OracleBootstrap();
+    if (config_.stabilize_every_ms > 0.0 || config_.fix_fingers_every_ms > 0.0) {
+      chord_node.StartMaintenance(config_.stabilize_every_ms,
+                                  config_.fix_fingers_every_ms);
+    }
+    if (old_owner != nullptr && old_owner != trackers_.back().get()) {
+      const chord::Key lo =
+          chord_node.Predecessor() ? chord_node.Predecessor()->id : chord_node.Self().id;
+      old_owner->OnRangeTransfer(lo, chord_node.Self().id, chord_node.Self());
+    }
+  }
+}
+
+unsigned TrackingSystem::RecomputePrefixLength() {
+  const unsigned fresh = PrefixLengthFor(config_.scheme, ring_->AliveCount(),
+                                         config_.tracker.lmin);
+  if (fresh != global_lp_.lp) {
+    global_lp_.lp = fresh;
+    for (auto& tracker : trackers_) {
+      if (tracker->chord().Alive()) tracker->OnPrefixLengthChanged(fresh);
+    }
+  }
+  return global_lp_.lp;
+}
+
+moods::NodeIndex TrackingSystem::NodeIndexOfActor(sim::ActorId actor) const {
+  const auto it = index_of_actor_.find(actor);
+  return it == index_of_actor_.end() ? moods::kNowhere : it->second;
+}
+
+std::vector<std::uint64_t> TrackingSystem::IndexLoadPerNode() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(trackers_.size());
+  for (const auto& tracker : trackers_) loads.push_back(tracker->ObjectsIndexed());
+  return loads;
+}
+
+std::vector<std::uint64_t> TrackingSystem::StoredEntriesPerNode() const {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(trackers_.size());
+  for (const auto& tracker : trackers_) {
+    loads.push_back(tracker->StoredIndexEntries());
+  }
+  return loads;
+}
+
+TrackerNode* TrackingSystem::TrackerByActor(sim::ActorId actor) {
+  const moods::NodeIndex index = NodeIndexOfActor(actor);
+  if (index == moods::kNowhere) return nullptr;
+  return trackers_[index].get();
+}
+
+TrackerNode* TrackingSystem::OwnerOf(const chord::Key& key) {
+  chord::ChordNode* owner = ring_->ExpectedOwner(key);
+  if (owner == nullptr) return nullptr;
+  return TrackerByActor(owner->Self().actor);
+}
+
+}  // namespace peertrack::tracking

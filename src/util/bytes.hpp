@@ -1,0 +1,91 @@
+#pragma once
+// Binary serialization primitives (little-endian, fixed-width) for the
+// snapshot/restore support of local repositories. No allocation tricks —
+// explicit, auditable encode/decode with bounds-checked reads.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peertrack::util {
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { buffer_.push_back(v); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof v); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void Bytes(const void* data, std::size_t size) {
+    U64(size);
+    Raw(data, size);
+  }
+  void String(std::string_view s) { Bytes(s.data(), s.size()); }
+
+  const std::vector<std::uint8_t>& Data() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  void Raw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+  }
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked reader. Any out-of-range read latches the error flag and
+/// returns zero values; callers check ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& data)
+      : data_(data.data()), size_(data.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t U8() { return ReadAs<std::uint8_t>(); }
+  std::uint32_t U32() { return ReadAs<std::uint32_t>(); }
+  std::uint64_t U64() { return ReadAs<std::uint64_t>(); }
+  double F64() { return ReadAs<double>(); }
+  bool Bool() { return U8() != 0; }
+
+  std::string String() {
+    const std::uint64_t length = U64();
+    if (!CanRead(length)) return {};
+    std::string out(reinterpret_cast<const char*>(data_ + offset_),
+                    static_cast<std::size_t>(length));
+    offset_ += static_cast<std::size_t>(length);
+    return out;
+  }
+
+  bool ok() const noexcept { return ok_; }
+  bool AtEnd() const noexcept { return offset_ == size_; }
+  std::size_t Remaining() const noexcept { return size_ - offset_; }
+
+ private:
+  template <typename T>
+  T ReadAs() {
+    if (!CanRead(sizeof(T))) return T{};
+    T value;
+    std::memcpy(&value, data_ + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  bool CanRead(std::uint64_t bytes) {
+    if (!ok_ || bytes > size_ - offset_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace peertrack::util

@@ -1,0 +1,160 @@
+#include "util/config.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace peertrack::util {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+Config Config::FromArgs(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.starts_with("--")) {
+      arg.remove_prefix(2);
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        config.Set(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      } else if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+        config.Set(std::string(arg), argv[++i]);
+      } else {
+        config.Set(std::string(arg), "true");
+      }
+    } else {
+      config.positional_.emplace_back(arg);
+    }
+  }
+  return config;
+}
+
+Config Config::FromString(std::string_view text) {
+  Config config;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find_first_of(",\n", start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = Trim(text.substr(start, end - start));
+    if (!item.empty()) {
+      if (const auto eq = item.find('='); eq != std::string_view::npos) {
+        config.Set(std::string(Trim(item.substr(0, eq))),
+                   std::string(Trim(item.substr(eq + 1))));
+      } else {
+        config.Set(std::string(item), "true");
+      }
+    }
+    start = end + 1;
+  }
+  return config;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Config{};
+  std::stringstream buffer;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    buffer << line << '\n';
+  }
+  return FromString(buffer.str());
+}
+
+void Config::MergeFrom(const Config& other) {
+  for (const auto& key : other.Keys()) {
+    Set(key, other.GetString(key, ""));
+  }
+  positional_.insert(positional_.end(), other.positional_.begin(),
+                     other.positional_.end());
+}
+
+void Config::Set(std::string key, std::string value) {
+  values_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Config::Has(std::string_view key) const { return Find(key).has_value(); }
+
+std::optional<std::string> Config::Find(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::GetString(std::string_view key, std::string_view fallback) const {
+  if (auto v = Find(key)) return *v;
+  return std::string(fallback);
+}
+
+std::int64_t Config::GetInt(std::string_view key, std::int64_t fallback) const {
+  const auto v = Find(key);
+  if (!v) return fallback;
+  std::int64_t out{};
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  return (ec == std::errc{} && ptr == v->data() + v->size()) ? out : fallback;
+}
+
+std::uint64_t Config::GetUInt(std::string_view key, std::uint64_t fallback) const {
+  const auto v = Find(key);
+  if (!v) return fallback;
+  std::uint64_t out{};
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  return (ec == std::errc{} && ptr == v->data() + v->size()) ? out : fallback;
+}
+
+double Config::GetDouble(std::string_view key, double fallback) const {
+  const auto v = Find(key);
+  if (!v) return fallback;
+  double out{};
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  return (ec == std::errc{} && ptr == v->data() + v->size()) ? out : fallback;
+}
+
+bool Config::GetBool(std::string_view key, bool fallback) const {
+  const auto v = Find(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+std::vector<std::int64_t> Config::GetIntList(std::string_view key,
+                                             std::vector<std::int64_t> fallback) const {
+  const auto v = Find(key);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::string_view text = *v;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = Trim(text.substr(start, end - start));
+    if (!item.empty()) {
+      std::int64_t value{};
+      const auto [ptr, ec] = std::from_chars(item.data(), item.data() + item.size(), value);
+      if (ec != std::errc{} || ptr != item.data() + item.size()) return fallback;
+      out.push_back(value);
+    }
+    start = end + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [k, _] : values_) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace peertrack::util

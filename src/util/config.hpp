@@ -1,0 +1,60 @@
+#pragma once
+// Key=value configuration with CLI override parsing.
+//
+// Benches and examples accept `--key=value` / `--key value` / `--flag`
+// arguments; Config stores them as strings and converts on access with a
+// typed default. Unknown keys are kept (so scenario presets can pass
+// through), but can be audited via Keys().
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peertrack::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv-style arguments. Accepts "--key=value", "--key value" (when
+  /// the next token does not start with "--"), and bare "--flag" (stored as
+  /// "true"). Positional arguments are collected separately.
+  static Config FromArgs(int argc, const char* const* argv);
+
+  /// Parse newline- or comma-separated "key=value" pairs.
+  static Config FromString(std::string_view text);
+
+  /// Load key=value lines from a file ('#' comments allowed). Returns an
+  /// empty config when the file cannot be read.
+  static Config FromFile(const std::string& path);
+
+  /// Overlay: values in `other` win (CLI overrides file).
+  void MergeFrom(const Config& other);
+
+  void Set(std::string key, std::string value);
+  bool Has(std::string_view key) const;
+
+  std::string GetString(std::string_view key, std::string_view fallback) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t fallback) const;
+  std::uint64_t GetUInt(std::string_view key, std::uint64_t fallback) const;
+  double GetDouble(std::string_view key, double fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  /// Parse a comma-separated integer list, e.g. "64,128,256,512".
+  std::vector<std::int64_t> GetIntList(std::string_view key,
+                                       std::vector<std::int64_t> fallback) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::optional<std::string> Find(std::string_view key) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace peertrack::util

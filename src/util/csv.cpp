@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include "util/format.hpp"
+
+namespace peertrack::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatDouble(v, precision));
+  WriteRow(cells);
+}
+
+}  // namespace peertrack::util

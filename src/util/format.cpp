@@ -1,0 +1,157 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace peertrack::util {
+
+namespace fmtdetail {
+
+Spec ParseSpec(std::string_view spec) {
+  Spec out;
+  std::size_t i = 0;
+  // [fill]align
+  if (spec.size() >= 2 && (spec[1] == '<' || spec[1] == '>' || spec[1] == '^')) {
+    out.fill = spec[0];
+    out.align = spec[1];
+    i = 2;
+  } else if (!spec.empty() && (spec[0] == '<' || spec[0] == '>' || spec[0] == '^')) {
+    out.align = spec[0];
+    i = 1;
+  }
+  // width
+  std::size_t start = i;
+  while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') ++i;
+  if (i > start) {
+    std::from_chars(spec.data() + start, spec.data() + i, out.width);
+  }
+  // .precision
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    start = i;
+    while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') ++i;
+    if (i > start) {
+      std::from_chars(spec.data() + start, spec.data() + i, out.precision);
+    } else {
+      out.precision = 0;
+    }
+  }
+  // type
+  if (i < spec.size()) out.type = spec[i];
+  return out;
+}
+
+std::string Pad(std::string text, const Spec& spec, bool numeric_default) {
+  if (spec.width < 0 || text.size() >= static_cast<std::size_t>(spec.width)) {
+    return text;
+  }
+  const std::size_t pad = static_cast<std::size_t>(spec.width) - text.size();
+  char align = spec.align;
+  if (align == 0) align = numeric_default ? '>' : '<';
+  switch (align) {
+    case '>':
+      return std::string(pad, spec.fill) + text;
+    case '^': {
+      const std::size_t left = pad / 2;
+      return std::string(left, spec.fill) + text + std::string(pad - left, spec.fill);
+    }
+    case '<':
+    default:
+      return text + std::string(pad, spec.fill);
+  }
+}
+
+std::string FormatDoubleSpec(double value, const Spec& spec) {
+  char buffer[64];
+  const int precision = spec.precision >= 0 ? spec.precision : 6;
+  switch (spec.type) {
+    case 'f':
+      std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+      break;
+    case 'e':
+      std::snprintf(buffer, sizeof(buffer), "%.*e", precision, value);
+      break;
+    case 'g':
+    case 0:
+      if (spec.precision >= 0) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+      } else {
+        // std::format's default prints shortest round-trip; %g with 10
+        // significant digits is a close, readable stand-in.
+        std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+      }
+      break;
+    default:
+      std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+      break;
+  }
+  return Pad(buffer, spec, true);
+}
+
+std::string FormatIntSpec(long long value, const Spec& spec) {
+  char buffer[32];
+  if (spec.type == 'x') {
+    std::snprintf(buffer, sizeof(buffer), "%llx", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lld", value);
+  }
+  return Pad(buffer, spec, true);
+}
+
+std::string FormatUIntSpec(unsigned long long value, const Spec& spec) {
+  char buffer[32];
+  if (spec.type == 'x') {
+    std::snprintf(buffer, sizeof(buffer), "%llx", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu", value);
+  }
+  return Pad(buffer, spec, true);
+}
+
+std::string Vformat(std::string_view fmt, const Arg* args, std::size_t count) {
+  std::string out;
+  out.reserve(fmt.size() + count * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out.push_back('{');
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        out.append(fmt.substr(i));
+        break;
+      }
+      std::string_view body = fmt.substr(i + 1, close - i - 1);
+      Spec spec;
+      if (const auto colon = body.find(':'); colon != std::string_view::npos) {
+        spec = ParseSpec(body.substr(colon + 1));
+      }
+      if (next_arg < count) {
+        out += args[next_arg++].Render(spec);
+      } else {
+        out += "{?}";
+      }
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out.push_back('}');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace fmtdetail
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", std::clamp(precision, 0, 30), value);
+  return buffer;
+}
+
+}  // namespace peertrack::util

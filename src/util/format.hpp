@@ -1,0 +1,114 @@
+#pragma once
+// Minimal std::format replacement (the toolchain's libstdc++ predates
+// <format>).
+//
+// Supports positional-free "{}" placeholders with a subset of the standard
+// spec grammar: {:[fill][<>^][width][.precision][type]} where type is one
+// of f/e/g (floating), d/x (integral), s (string). "{{" and "}}" are
+// literal braces. Numbers right-align by default, strings left-align,
+// matching std::format. Unknown argument/placeholder mismatches render as
+// "{?}" rather than throwing — formatting is used in logging and bench
+// output where robustness beats strictness.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace peertrack::util {
+
+namespace fmtdetail {
+
+struct Spec {
+  char fill = ' ';
+  char align = 0;        // '<', '>', '^', or 0 = type default.
+  int width = -1;
+  int precision = -1;
+  char type = 0;
+};
+
+Spec ParseSpec(std::string_view spec);
+std::string Pad(std::string text, const Spec& spec, bool numeric_default);
+
+std::string FormatDoubleSpec(double value, const Spec& spec);
+std::string FormatIntSpec(long long value, const Spec& spec);
+std::string FormatUIntSpec(unsigned long long value, const Spec& spec);
+
+inline std::string FormatOne(double value, const Spec& spec) {
+  return FormatDoubleSpec(value, spec);
+}
+inline std::string FormatOne(float value, const Spec& spec) {
+  return FormatDoubleSpec(value, spec);
+}
+inline std::string FormatOne(bool value, const Spec& spec) {
+  return Pad(value ? "true" : "false", spec, false);
+}
+inline std::string FormatOne(char value, const Spec& spec) {
+  return Pad(std::string(1, value), spec, false);
+}
+inline std::string FormatOne(const std::string& value, const Spec& spec) {
+  return Pad(value, spec, false);
+}
+inline std::string FormatOne(std::string_view value, const Spec& spec) {
+  return Pad(std::string(value), spec, false);
+}
+inline std::string FormatOne(const char* value, const Spec& spec) {
+  return Pad(value ? std::string(value) : std::string("(null)"), spec, false);
+}
+template <typename T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+           !std::is_same_v<T, char>)
+std::string FormatOne(T value, const Spec& spec) {
+  if constexpr (std::is_signed_v<T>) {
+    return FormatIntSpec(static_cast<long long>(value), spec);
+  } else {
+    return FormatUIntSpec(static_cast<unsigned long long>(value), spec);
+  }
+}
+template <typename T>
+  requires std::is_enum_v<T>
+std::string FormatOne(T value, const Spec& spec) {
+  return FormatOne(static_cast<std::underlying_type_t<T>>(value), spec);
+}
+inline std::string FormatOne(const void* value, const Spec& spec) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%p", value);
+  return Pad(buffer, spec, false);
+}
+
+/// Type-erased argument: formats itself against a parsed spec.
+class Arg {
+ public:
+  template <typename T>
+  explicit Arg(const T& value)
+      : value_(&value), fn_([](const void* p, const Spec& s) {
+          return FormatOne(*static_cast<const T*>(p), s);
+        }) {}
+
+  std::string Render(const Spec& spec) const { return fn_(value_, spec); }
+
+ private:
+  const void* value_;
+  std::string (*fn_)(const void*, const Spec&);
+};
+
+std::string Vformat(std::string_view fmt, const Arg* args, std::size_t count);
+
+}  // namespace fmtdetail
+
+/// printf-free, type-safe formatting with "{}" placeholders.
+template <typename... Args>
+std::string Format(std::string_view fmt, const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return fmtdetail::Vformat(fmt, nullptr, 0);
+  } else {
+    const fmtdetail::Arg erased[] = {fmtdetail::Arg(args)...};
+    return fmtdetail::Vformat(fmt, erased, sizeof...(Args));
+  }
+}
+
+/// Fixed-point rendering helper ("{:.Nf}" with runtime N).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace peertrack::util

@@ -1,0 +1,78 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace peertrack::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emit_mutex;
+
+constexpr std::string_view LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+char ToLowerAscii(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLowerAscii(a[i]) != ToLowerAscii(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel ParseLogLevel(std::string_view text) noexcept {
+  if (EqualsIgnoreCase(text, "trace")) return LogLevel::Trace;
+  if (EqualsIgnoreCase(text, "debug")) return LogLevel::Debug;
+  if (EqualsIgnoreCase(text, "info")) return LogLevel::Info;
+  if (EqualsIgnoreCase(text, "warn")) return LogLevel::Warn;
+  if (EqualsIgnoreCase(text, "error")) return LogLevel::Error;
+  if (EqualsIgnoreCase(text, "off")) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+bool Enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void Emit(LogLevel level, std::string_view message) {
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.append("[");
+  line.append(LevelTag(level));
+  line.append("] ");
+  line.append(message);
+  line.push_back('\n');
+  std::lock_guard lock(g_emit_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace detail
+
+}  // namespace peertrack::util

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Thread-safe: each Log() call formats into a local buffer and emits a
+// single write under a mutex, so interleaved lines never tear. Level is a
+// global atomic; the default (Warn) keeps simulations quiet.
+
+#include <atomic>
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace peertrack::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Globally set the minimum level that will be emitted.
+void SetLogLevel(LogLevel level) noexcept;
+
+/// Current minimum level.
+LogLevel GetLogLevel() noexcept;
+
+/// Parse "trace|debug|info|warn|error|off" (case-insensitive); returns Warn
+/// on unrecognized input.
+LogLevel ParseLogLevel(std::string_view text) noexcept;
+
+namespace detail {
+void Emit(LogLevel level, std::string_view message);
+bool Enabled(LogLevel level) noexcept;
+}  // namespace detail
+
+/// Format-and-log. No-op (after one atomic load) when `level` is below the
+/// global threshold.
+template <typename... Args>
+void Log(LogLevel level, std::string_view fmt, const Args&... args) {
+  if (!detail::Enabled(level)) return;
+  detail::Emit(level, Format(fmt, args...));
+}
+
+template <typename... Args>
+void LogTrace(std::string_view fmt, const Args&... args) {
+  Log(LogLevel::Trace, fmt, args...);
+}
+template <typename... Args>
+void LogDebug(std::string_view fmt, const Args&... args) {
+  Log(LogLevel::Debug, fmt, args...);
+}
+template <typename... Args>
+void LogInfo(std::string_view fmt, const Args&... args) {
+  Log(LogLevel::Info, fmt, args...);
+}
+template <typename... Args>
+void LogWarn(std::string_view fmt, const Args&... args) {
+  Log(LogLevel::Warn, fmt, args...);
+}
+template <typename... Args>
+void LogError(std::string_view fmt, const Args&... args) {
+  Log(LogLevel::Error, fmt, args...);
+}
+
+}  // namespace peertrack::util

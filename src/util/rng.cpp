@@ -1,0 +1,121 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace peertrack::util {
+
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+  // All-zero state is the one forbidden state of xoshiro; SplitMix64 cannot
+  // produce four zero outputs in a row from any seed, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::Next() noexcept {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's method: multiply-shift with rejection of the biased tail.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() noexcept {
+  // 53 high-quality mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) noexcept {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) noexcept {
+  if (rate <= 0.0) return 0.0;
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::NextNormal(double mean, double stddev) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+std::vector<std::size_t> Rng::SampleIndices(std::size_t n, std::size_t k) noexcept {
+  k = std::min(k, n);
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k);
+  // Floyd's algorithm: uniform k-subset in O(k) expected draws.
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(NextBelow(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<std::size_t> result(chosen.begin(), chosen.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Rng Rng::Fork() noexcept {
+  return Rng(Next() ^ 0xa02bdbf7bb3c0a7ULL);
+}
+
+}  // namespace peertrack::util

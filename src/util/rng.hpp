@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// All randomness in a simulation flows from one Rng seeded at run start, so
+// every experiment is reproducible bit-for-bit. The core generator is
+// xoshiro256** seeded via SplitMix64 (the construction recommended by the
+// xoshiro authors); both are implemented here so the repo has no dependence
+// on unspecified standard-library distribution internals.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace peertrack::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with explicit, value-semantic state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() noexcept;
+  result_type operator()() noexcept { return Next(); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5) noexcept;
+
+  /// Exponentially distributed with the given rate (mean 1/rate).
+  double NextExponential(double rate) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double NextNormal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::span<T> items) noexcept {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& items) noexcept {
+    Shuffle(std::span<T>(items));
+  }
+
+  /// Uniformly chosen element; precondition: !items.empty().
+  template <typename T>
+  const T& Pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(NextBelow(items.size()))];
+  }
+
+  /// Sample k distinct indices from [0, n) (Floyd's algorithm); returns
+  /// sorted indices. k is clamped to n.
+  std::vector<std::size_t> SampleIndices(std::size_t n, std::size_t k) noexcept;
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng Fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  // Cached second value from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace peertrack::util

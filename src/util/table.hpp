@@ -1,0 +1,33 @@
+#pragma once
+// Column-aligned ASCII tables for benchmark output.
+//
+// Every paper-figure bench prints one of these so the reproduced series are
+// readable next to the paper's plots.
+
+#include <string>
+#include <vector>
+
+namespace peertrack::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each value with the given precision.
+  void AddNumericRow(const std::vector<double>& values, int precision = 2);
+
+  std::size_t RowCount() const noexcept { return rows_.size(); }
+
+  /// Render with a header separator and right-aligned numeric-looking cells.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace peertrack::util

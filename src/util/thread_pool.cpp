@@ -1,0 +1,50 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace peertrack::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) worker.request_stop();
+  cv_.notify_all();
+  // std::jthread joins in its destructor.
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  while (true) {
+    util::UniqueFunction<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stop.stop_requested()) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(Submit([fn, i] { fn(i); }));
+  }
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace peertrack::util

@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-size thread pool for fanning out independent simulation runs.
+//
+// Each parameter-sweep point in the benchmark harnesses is an independent,
+// deterministic simulation; the pool runs them concurrently (message-passing
+// style: tasks own their inputs, results come back through futures — no
+// shared mutable simulation state crosses threads).
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/unique_function.hpp"
+
+namespace peertrack::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t ThreadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueue a callable; returns a future for its result. The callable is
+  /// moved into the pool, so capture by value (Core Guidelines F.53).
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::packaged_task<R()>(std::forward<F>(task));
+    auto future = packaged.get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace_back(
+          [job = std::move(packaged)]() mutable { job(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<util::UniqueFunction<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace peertrack::util

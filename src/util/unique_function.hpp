@@ -1,0 +1,59 @@
+#pragma once
+// Move-only type-erased callable (std::move_only_function is C++23; this
+// toolchain is C++20). Simulation events and pool tasks capture move-only
+// state (unique_ptr message payloads, packaged_tasks), which std::function
+// cannot hold.
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace peertrack::util {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueFunction> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  UniqueFunction(F&& callable)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::remove_cvref_t<F>>>(
+            std::forward<F>(callable))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    return impl_->Invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R Invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F&& f) : callable(std::move(f)) {}
+    explicit Impl(const F& f) : callable(f) {}
+    R Invoke(Args&&... args) override {
+      return std::invoke(callable, std::forward<Args>(args)...);
+    }
+    F callable;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace peertrack::util

@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+#include "util/format.hpp"
+
+namespace peertrack::workload {
+
+std::string SteadyArrivals::Describe() const {
+  return util::Format("steady(gap={} ms)", gap_);
+}
+
+std::string PoissonArrivals::Describe() const {
+  return util::Format("poisson(rate={}/ms)", rate_);
+}
+
+moods::Time BurstyArrivals::Next(moods::Time now, util::Rng& rng) {
+  if (!in_burst_) {
+    in_burst_ = true;
+    burst_started_ = now;
+  }
+  const moods::Time candidate = now + rng.NextExponential(burst_rate_);
+  if (candidate - burst_started_ <= burst_len_) return candidate;
+  // Burst over: jump past the silent gap and start a new burst.
+  in_burst_ = true;
+  burst_started_ = burst_started_ + burst_len_ + gap_;
+  return burst_started_ + rng.NextExponential(burst_rate_);
+}
+
+std::string BurstyArrivals::Describe() const {
+  return util::Format("bursty(rate={}/ms, burst={} ms, gap={} ms)", burst_rate_,
+                      burst_len_, gap_);
+}
+
+std::vector<moods::Time> GenerateArrivals(ArrivalProcess& process, moods::Time start,
+                                          std::size_t count, util::Rng& rng) {
+  std::vector<moods::Time> times;
+  times.reserve(count);
+  moods::Time now = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    now = process.Next(now, rng);
+    times.push_back(now);
+  }
+  return times;
+}
+
+}  // namespace peertrack::workload

@@ -1,0 +1,72 @@
+#pragma once
+// Arrival processes for capture streams.
+//
+// The adaptive window (Tmax/Nmax) exists because "object streams are
+// unstable" (paper Section IV-A1). These processes generate the capture
+// timestamps used by the window ablation: steady (uniform spacing), Poisson
+// (memoryless), and bursty (on/off periods — trucks arriving at a dock).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moods/object.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Time of the next arrival strictly after `now`.
+  virtual moods::Time Next(moods::Time now, util::Rng& rng) = 0;
+  virtual std::string Describe() const = 0;
+};
+
+/// Constant inter-arrival gap.
+class SteadyArrivals final : public ArrivalProcess {
+ public:
+  explicit SteadyArrivals(moods::Time gap_ms) : gap_(gap_ms) {}
+  moods::Time Next(moods::Time now, util::Rng&) override { return now + gap_; }
+  std::string Describe() const override;
+
+ private:
+  moods::Time gap_;
+};
+
+/// Poisson process with the given mean rate (arrivals per ms).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_ms) : rate_(rate_per_ms) {}
+  moods::Time Next(moods::Time now, util::Rng& rng) override {
+    return now + rng.NextExponential(rate_);
+  }
+  std::string Describe() const override;
+
+ private:
+  double rate_;
+};
+
+/// On/off bursts: dense Poisson arrivals during a burst, silence between
+/// bursts. Models pallet unloading at a dock door.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double burst_rate_per_ms, moods::Time burst_len_ms,
+                 moods::Time gap_ms)
+      : burst_rate_(burst_rate_per_ms), burst_len_(burst_len_ms), gap_(gap_ms) {}
+  moods::Time Next(moods::Time now, util::Rng& rng) override;
+  std::string Describe() const override;
+
+ private:
+  double burst_rate_;
+  moods::Time burst_len_;
+  moods::Time gap_;
+  moods::Time burst_started_ = 0.0;
+  bool in_burst_ = false;
+};
+
+/// Generate `count` arrival times starting after `start`.
+std::vector<moods::Time> GenerateArrivals(ArrivalProcess& process, moods::Time start,
+                                          std::size_t count, util::Rng& rng);
+
+}  // namespace peertrack::workload

@@ -1,0 +1,27 @@
+#include "workload/epc.hpp"
+
+#include "util/format.hpp"
+
+namespace peertrack::workload {
+
+EpcGenerator::EpcGenerator(std::uint64_t seed, std::uint32_t company_count,
+                           std::uint32_t item_count)
+    : seed_(seed),
+      company_count_(company_count == 0 ? 1 : company_count),
+      item_count_(item_count == 0 ? 1 : item_count) {}
+
+std::string EpcGenerator::Uri(std::uint64_t sequence) const {
+  // Company and item derive from a mixed hash of (seed, sequence) so product
+  // lines interleave; the serial is the sequence itself (uniqueness).
+  std::uint64_t state = seed_ ^ (sequence * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t mixed = util::SplitMix64(state);
+  const std::uint32_t company = static_cast<std::uint32_t>(mixed % company_count_);
+  const std::uint32_t item = static_cast<std::uint32_t>((mixed >> 32) % item_count_);
+  return util::Format("urn:epc:id:sgtin:{}.{}.{}", 1000000 + company, item, sequence);
+}
+
+hash::UInt160 EpcGenerator::Key(std::uint64_t sequence) const {
+  return hash::ObjectKey(Uri(sequence));
+}
+
+}  // namespace peertrack::workload

@@ -1,0 +1,39 @@
+#pragma once
+// EPC-style object id generation.
+//
+// Objects in the paper are goods with EPC (Electronic Product Code) tags.
+// The generator produces SGTIN-96-style URIs — urn:epc:id:sgtin:
+// <company>.<item>.<serial> — so hashed ids exercise the same string->SHA1
+// path a real deployment would, and ids are reproducible from (seed,
+// sequence number).
+
+#include <cstdint>
+#include <string>
+
+#include "hash/keyspace.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::workload {
+
+class EpcGenerator {
+ public:
+  /// `company_count`/`item_count` control how many distinct company and
+  /// item-class fields appear (objects of the same item class model one
+  /// product line moving in bulk).
+  EpcGenerator(std::uint64_t seed, std::uint32_t company_count = 64,
+               std::uint32_t item_count = 1024);
+
+  /// The `sequence`-th EPC URI. Deterministic and collision-free: the
+  /// serial field embeds the sequence number.
+  std::string Uri(std::uint64_t sequence) const;
+
+  /// Hashed ring key of the `sequence`-th EPC.
+  hash::UInt160 Key(std::uint64_t sequence) const;
+
+ private:
+  std::uint64_t seed_;
+  std::uint32_t company_count_;
+  std::uint32_t item_count_;
+};
+
+}  // namespace peertrack::workload

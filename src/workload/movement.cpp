@@ -1,0 +1,81 @@
+#include "workload/movement.hpp"
+
+#include <algorithm>
+
+namespace peertrack::workload {
+
+MovementPlan PlanMovements(const MovementParams& params, util::Rng& rng) {
+  MovementPlan plan;
+  const std::size_t nodes = params.nodes;
+  const std::size_t per_node = params.objects_per_node;
+  plan.object_count = nodes * per_node;
+  plan.captures.reserve(plan.object_count +
+                        static_cast<std::size_t>(
+                            static_cast<double>(plan.object_count) *
+                            params.move_fraction * params.trace_length));
+
+  // Initial placement: object (node * per_node + k) is born at `node`.
+  // Births happen at start_time with sub-millisecond spacing so each node's
+  // initial population lands in few capture windows (goods already on
+  // shelves when the system starts).
+  for (std::size_t node = 0; node < nodes; ++node) {
+    for (std::size_t k = 0; k < per_node; ++k) {
+      const std::uint64_t seq = node * per_node + k;
+      plan.captures.push_back(
+          {seq, static_cast<std::uint32_t>(node), params.start_time});
+    }
+  }
+
+  // Movers: the first `move_fraction * per_node` objects of each node.
+  const auto movers_per_node =
+      static_cast<std::size_t>(static_cast<double>(per_node) * params.move_fraction);
+  for (std::size_t node = 0; node < nodes && nodes > 1; ++node) {
+    // In group mode, every mover from this node shares one trajectory and
+    // one timetable (a pallet). In individual mode each object gets its
+    // own.
+    std::vector<std::uint32_t> shared_route;
+    if (params.move_in_groups) {
+      shared_route.reserve(params.trace_length);
+      std::uint32_t current = static_cast<std::uint32_t>(node);
+      for (std::size_t hop = 1; hop < params.trace_length; ++hop) {
+        std::uint32_t next;
+        do {
+          next = static_cast<std::uint32_t>(rng.NextBelow(nodes));
+        } while (next == current);
+        shared_route.push_back(next);
+        current = next;
+      }
+    }
+    for (std::size_t k = 0; k < movers_per_node; ++k) {
+      const std::uint64_t seq = node * per_node + k;
+      plan.movers.push_back(seq);
+      std::uint32_t current = static_cast<std::uint32_t>(node);
+      moods::Time when = params.start_time;
+      for (std::size_t hop = 1; hop < params.trace_length; ++hop) {
+        std::uint32_t next;
+        if (params.move_in_groups) {
+          next = shared_route[hop - 1];
+        } else {
+          do {
+            next = static_cast<std::uint32_t>(rng.NextBelow(nodes));
+          } while (next == current);
+        }
+        when += params.step_ms;
+        moods::Time at = when;
+        if (!params.move_in_groups && params.jitter_ms > 0.0) {
+          at += rng.NextDouble(0.0, params.jitter_ms);
+        }
+        plan.captures.push_back({seq, next, at});
+        current = next;
+      }
+    }
+  }
+
+  std::stable_sort(plan.captures.begin(), plan.captures.end(),
+                   [](const PlannedCapture& a, const PlannedCapture& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace peertrack::workload

@@ -1,0 +1,50 @@
+#pragma once
+// Trajectory generation: which objects move where, when.
+//
+// Reproduces Section V-A's workload: every node starts with a population of
+// local objects; a fraction of them moves along a trace of `trace_length`
+// nodes. Movement can be "in groups" (co-located objects travel together,
+// arriving inside one capture window — a pallet) or "individually" (each
+// object follows its own trajectory on its own schedule), the two series of
+// Fig. 6b.
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/keyspace.hpp"
+#include "moods/object.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::workload {
+
+struct MovementParams {
+  std::size_t nodes = 64;
+  std::size_t objects_per_node = 500;
+  double move_fraction = 0.10;
+  std::size_t trace_length = 10;   ///< Total nodes visited (incl. origin).
+  bool move_in_groups = true;
+  moods::Time start_time = 10.0;
+  moods::Time step_ms = 2000.0;    ///< Dwell time between hops.
+  moods::Time jitter_ms = 0.0;     ///< Per-capture jitter (individual mode).
+};
+
+/// One scheduled capture: object key appears at node `node` at time `at`.
+struct PlannedCapture {
+  std::uint64_t object_seq;   ///< Sequence number into the EPC generator.
+  std::uint32_t node;
+  moods::Time at;
+};
+
+/// Full workload plan: every capture of every object, plus the object list.
+struct MovementPlan {
+  std::vector<PlannedCapture> captures;  ///< Sorted by time.
+  std::uint64_t object_count = 0;        ///< EPC sequences 0..object_count-1.
+  std::vector<std::uint64_t> movers;     ///< Sequences of objects that move.
+
+  std::size_t TotalCaptures() const noexcept { return captures.size(); }
+};
+
+/// Build the paper-workload plan. Deterministic given (params, rng state).
+MovementPlan PlanMovements(const MovementParams& params, util::Rng& rng);
+
+}  // namespace peertrack::workload

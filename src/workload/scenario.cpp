@@ -1,0 +1,42 @@
+#include "workload/scenario.hpp"
+
+namespace peertrack::workload {
+
+ScenarioResult ExecuteScenario(tracking::TrackingSystem& system,
+                               const MovementParams& params,
+                               std::uint64_t epc_seed) {
+  ScenarioResult result;
+  util::Rng plan_rng = system.rng().Fork();
+  const MovementPlan plan = PlanMovements(params, plan_rng);
+  result.movers = plan.movers;
+
+  EpcGenerator epc(epc_seed);
+  result.object_keys.reserve(plan.object_count);
+  for (std::uint64_t seq = 0; seq < plan.object_count; ++seq) {
+    result.object_keys.push_back(epc.Key(seq));
+  }
+
+  system.metrics().Reset();
+  for (const PlannedCapture& capture : plan.captures) {
+    system.CaptureAt(capture.node, result.object_keys[capture.object_seq], capture.at);
+  }
+  system.Run();
+  system.FlushAllWindows();
+
+  result.indexing_messages = system.metrics().TotalMessages();
+  result.indexing_bytes = system.metrics().TotalBytes();
+  result.captures = plan.captures.size();
+  return result;
+}
+
+void InjectTrajectory(tracking::TrackingSystem& system, const hash::UInt160& object,
+                      const std::vector<std::uint32_t>& nodes, moods::Time start,
+                      moods::Time step_ms) {
+  moods::Time when = start;
+  for (const std::uint32_t node : nodes) {
+    system.CaptureAt(node, object, when);
+    when += step_ms;
+  }
+}
+
+}  // namespace peertrack::workload

@@ -1,0 +1,36 @@
+#pragma once
+// Scenario runner: executes a movement plan against a TrackingSystem and
+// reports the costs the paper's figures plot.
+
+#include <vector>
+
+#include "tracking/tracking_system.hpp"
+#include "workload/epc.hpp"
+#include "workload/movement.hpp"
+
+namespace peertrack::workload {
+
+struct ScenarioResult {
+  /// Hashed key of each object, indexed by EPC sequence number.
+  std::vector<hash::UInt160> object_keys;
+  std::vector<std::uint64_t> movers;  ///< Sequences of objects that moved.
+
+  std::uint64_t indexing_messages = 0;
+  std::uint64_t indexing_bytes = 0;
+  std::uint64_t captures = 0;
+};
+
+/// Drive `plan`-shaped workload into `system`: schedules every capture,
+/// runs the simulation to completion (including a final window flush), and
+/// returns the message cost incurred. Metrics are reset at the start so the
+/// returned numbers are pure indexing cost.
+ScenarioResult ExecuteScenario(tracking::TrackingSystem& system,
+                               const MovementParams& params,
+                               std::uint64_t epc_seed);
+
+/// Convenience for tests/examples: one fully-specified object trajectory.
+void InjectTrajectory(tracking::TrackingSystem& system, const hash::UInt160& object,
+                      const std::vector<std::uint32_t>& nodes, moods::Time start,
+                      moods::Time step_ms);
+
+}  // namespace peertrack::workload

@@ -1,0 +1,135 @@
+#include "central/central_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/keyspace.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::central {
+namespace {
+
+hash::UInt160 Epc(int i) { return hash::ObjectKey("cs-epc-" + std::to_string(i)); }
+
+TEST(EventStore, IntervalsCloseOnMovement) {
+  EventStore store;
+  store.RecordArrival(Epc(1), 3, 10.0);
+  store.RecordArrival(Epc(1), 7, 50.0);
+  store.RecordArrival(Epc(1), 2, 90.0);
+
+  QueryCost cost;
+  const auto rows = store.Trace(Epc(1), QueryPlan::kIndex, cost);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].location, 3u);
+  EXPECT_DOUBLE_EQ(rows[0].t_start, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].t_end, 50.0);
+  EXPECT_DOUBLE_EQ(rows[1].t_end, 90.0);
+  EXPECT_DOUBLE_EQ(rows[2].t_end, kOpenEnd);  // Still there.
+}
+
+TEST(EventStore, ScanAndIndexPlansAgree) {
+  EventStore store;
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    store.RecordArrival(Epc(static_cast<int>(rng.NextBelow(20))),
+                        static_cast<std::uint32_t>(rng.NextBelow(8)),
+                        static_cast<double>(i));
+  }
+  for (int epc = 0; epc < 20; ++epc) {
+    QueryCost scan_cost;
+    QueryCost index_cost;
+    const auto scan_rows = store.Trace(Epc(epc), QueryPlan::kScan, scan_cost);
+    const auto index_rows = store.Trace(Epc(epc), QueryPlan::kIndex, index_cost);
+    ASSERT_EQ(scan_rows.size(), index_rows.size()) << epc;
+    for (std::size_t i = 0; i < scan_rows.size(); ++i) {
+      EXPECT_EQ(scan_rows[i].location, index_rows[i].location);
+      EXPECT_DOUBLE_EQ(scan_rows[i].t_start, index_rows[i].t_start);
+    }
+  }
+}
+
+TEST(EventStore, LocateSemanticsMatchIntervals) {
+  EventStore store;
+  store.RecordArrival(Epc(1), 3, 10.0);
+  store.RecordArrival(Epc(1), 7, 50.0);
+  QueryCost cost;
+  EXPECT_FALSE(store.Locate(Epc(1), 5.0, QueryPlan::kIndex, cost).has_value());
+  EXPECT_EQ(store.Locate(Epc(1), 10.0, QueryPlan::kIndex, cost).value(), 3u);
+  EXPECT_EQ(store.Locate(Epc(1), 49.0, QueryPlan::kIndex, cost).value(), 3u);
+  EXPECT_EQ(store.Locate(Epc(1), 50.0, QueryPlan::kIndex, cost).value(), 7u);
+  EXPECT_EQ(store.Locate(Epc(1), 1e9, QueryPlan::kIndex, cost).value(), 7u);
+  EXPECT_FALSE(store.Locate(Epc(2), 10.0, QueryPlan::kIndex, cost).has_value());
+}
+
+TEST(EventStore, ScanCostGrowsWithTableIndexCostDoesNot) {
+  EventStore small;
+  EventStore big;
+  // Realistic trace lengths: ~10 rows per object in both stores.
+  for (int i = 0; i < 500; ++i) {
+    small.RecordArrival(Epc(i % 50), 0, static_cast<double>(i));
+  }
+  for (int i = 0; i < 50000; ++i) {
+    big.RecordArrival(Epc(i % 5000), 0, static_cast<double>(i));
+  }
+  QueryCost small_scan, big_scan, small_index, big_index;
+  small.Trace(Epc(1), QueryPlan::kScan, small_scan);
+  big.Trace(Epc(1), QueryPlan::kScan, big_scan);
+  small.Trace(Epc(1), QueryPlan::kIndex, small_index);
+  big.Trace(Epc(1), QueryPlan::kIndex, big_index);
+
+  // Scan: 100x more rows -> ~100x more pages.
+  EXPECT_GT(big_scan.pages.page_reads, 50 * small_scan.pages.page_reads);
+  // Index: the big store answers within a small constant factor (more
+  // matching rows + one extra tree level).
+  EXPECT_LT(big_index.pages.page_reads, 40 * small_index.pages.page_reads);
+}
+
+TEST(CentralTracker, TraceMatchesIngestOrder) {
+  CentralTracker tracker;
+  tracker.Ingest(Epc(9), 4, 10.0);
+  tracker.Ingest(Epc(9), 6, 20.0);
+  const auto answer = tracker.Trace(Epc(9));
+  ASSERT_EQ(answer.rows.size(), 2u);
+  EXPECT_EQ(answer.rows[0].location, 4u);
+  EXPECT_EQ(answer.rows[1].location, 6u);
+  EXPECT_GT(answer.duration_ms, 0.0);
+}
+
+TEST(CentralTracker, ScanPlanSlowerThanIndexPlanOnBigStore) {
+  CentralTracker::Options options;
+  options.plan = QueryPlan::kScan;
+  CentralTracker tracker(options);
+  // ~10-row traces per object, as in the paper's workload.
+  for (int i = 0; i < 30000; ++i) {
+    tracker.Ingest(Epc(i % 3000), static_cast<std::uint32_t>(i % 16),
+                   static_cast<double>(i));
+  }
+  const auto scan = tracker.Trace(Epc(5));
+  tracker.SetPlan(QueryPlan::kIndex);
+  const auto index = tracker.Trace(Epc(5));
+  EXPECT_EQ(scan.rows.size(), index.rows.size());
+  EXPECT_GT(scan.duration_ms, 5.0 * index.duration_ms);
+}
+
+TEST(CostModel, LinearInPageCounts) {
+  CostModel model;
+  QueryCost cost;
+  cost.pages.page_reads = 1000;
+  cost.pages.rows_touched = 0;
+  const double base = model.QueryMs(cost);
+  cost.pages.page_reads = 2000;
+  EXPECT_NEAR(model.QueryMs(cost), 2.0 * base, 1e-9);
+}
+
+TEST(EventStore, NoIndexModeStillAnswersViaScan) {
+  EventStore::Options options;
+  options.maintain_index = false;
+  EventStore store(options);
+  store.RecordArrival(Epc(1), 2, 10.0);
+  QueryCost cost;
+  const auto rows = store.Trace(Epc(1), QueryPlan::kIndex, cost);  // Falls back.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].location, 2u);
+}
+
+}  // namespace
+}  // namespace peertrack::central

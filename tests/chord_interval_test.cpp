@@ -1,0 +1,116 @@
+// Unit tests of Chord routing-table components (finger table, successor
+// list) in isolation from the network.
+
+#include <gtest/gtest.h>
+
+#include "chord/finger_table.hpp"
+#include "chord/successor_list.hpp"
+
+namespace peertrack::chord {
+namespace {
+
+NodeRef Ref(std::uint64_t id, sim::ActorId actor) {
+  return NodeRef{Key(id), actor};
+}
+
+TEST(FingerTable, StartPoints) {
+  FingerTable table(Key(100));
+  EXPECT_EQ(table.Start(0), Key(101));
+  EXPECT_EQ(table.Start(4), Key(116));
+  // Wraps modulo 2^160.
+  FingerTable near_top(Key::Max());
+  EXPECT_EQ(near_top.Start(0), Key(0));
+}
+
+TEST(FingerTable, ClosestPrecedingScansHighToLow) {
+  FingerTable table(Key(0));
+  table.Set(3, Ref(8, 1));     // Covers start 8.
+  table.Set(5, Ref(40, 2));    // Covers start 32.
+  table.Set(7, Ref(200, 3));   // Covers start 128.
+
+  // Key 100: node 40 is the closest finger strictly inside (0, 100).
+  auto hop = table.ClosestPreceding(Key(100));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->id, Key(40));
+
+  // Key 9: only node 8 precedes it.
+  hop = table.ClosestPreceding(Key(9));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->id, Key(8));
+
+  // Key 5: no finger inside (0, 5).
+  EXPECT_FALSE(table.ClosestPreceding(Key(5)).has_value());
+}
+
+TEST(FingerTable, ClosestPrecedingExcludesKeyItself) {
+  FingerTable table(Key(0));
+  table.Set(6, Ref(64, 1));
+  // Interval is open: finger exactly at the key must not be returned.
+  EXPECT_FALSE(table.ClosestPreceding(Key(64)).has_value());
+  EXPECT_TRUE(table.ClosestPreceding(Key(65)).has_value());
+}
+
+TEST(FingerTable, EvictClearsAllEntriesOfPeer) {
+  FingerTable table(Key(0));
+  table.Set(1, Ref(10, 7));
+  table.Set(2, Ref(10, 7));
+  table.Set(3, Ref(20, 8));
+  EXPECT_EQ(table.Evict(Ref(10, 7)), 2u);
+  EXPECT_EQ(table.PopulatedCount(), 1u);
+  EXPECT_FALSE(table.Get(1).has_value());
+  EXPECT_TRUE(table.Get(3).has_value());
+}
+
+TEST(SuccessorList, KeepsClockwiseOrder) {
+  SuccessorList list(Key(100), 4);
+  list.Offer(Ref(150, 1));
+  list.Offer(Ref(120, 2));
+  list.Offer(Ref(5, 3));  // Wraps past zero: farthest.
+  list.Offer(Ref(130, 4));
+  ASSERT_EQ(list.Size(), 4u);
+  EXPECT_EQ(list.Entries()[0].id, Key(120));
+  EXPECT_EQ(list.Entries()[1].id, Key(130));
+  EXPECT_EQ(list.Entries()[2].id, Key(150));
+  EXPECT_EQ(list.Entries()[3].id, Key(5));
+  EXPECT_EQ(list.First().id, Key(120));
+}
+
+TEST(SuccessorList, CapacityEvictsFarthest) {
+  SuccessorList list(Key(0), 2);
+  list.Offer(Ref(30, 1));
+  list.Offer(Ref(20, 2));
+  list.Offer(Ref(10, 3));
+  ASSERT_EQ(list.Size(), 2u);
+  EXPECT_EQ(list.Entries()[0].id, Key(10));
+  EXPECT_EQ(list.Entries()[1].id, Key(20));
+}
+
+TEST(SuccessorList, RejectsSelfAndDuplicates) {
+  SuccessorList list(Key(7), 4);
+  EXPECT_FALSE(list.Offer(Ref(7, 0)));
+  EXPECT_TRUE(list.Offer(Ref(9, 1)));
+  EXPECT_FALSE(list.Offer(Ref(9, 1)));
+  EXPECT_EQ(list.Size(), 1u);
+}
+
+TEST(SuccessorList, RemoveByActor) {
+  SuccessorList list(Key(0), 4);
+  list.Offer(Ref(1, 10));
+  list.Offer(Ref(2, 11));
+  EXPECT_TRUE(list.Remove(Ref(1, 10)));
+  EXPECT_FALSE(list.Remove(Ref(1, 10)));
+  EXPECT_EQ(list.First().id, Key(2));
+}
+
+TEST(SuccessorList, MergeTakesNearest) {
+  SuccessorList list(Key(0), 3);
+  list.Offer(Ref(50, 1));
+  list.Merge({Ref(10, 2), Ref(90, 3), Ref(30, 4)});
+  ASSERT_EQ(list.Size(), 3u);
+  EXPECT_EQ(list.Entries()[0].id, Key(10));
+  EXPECT_EQ(list.Entries()[1].id, Key(30));
+  EXPECT_EQ(list.Entries()[2].id, Key(50));
+}
+
+}  // namespace
+}  // namespace peertrack::chord

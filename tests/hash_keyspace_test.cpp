@@ -1,0 +1,106 @@
+#include "hash/keyspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace peertrack::hash {
+namespace {
+
+TEST(Keyspace, ObjectAndNodeKeysAreSha1) {
+  // Same input through either derivation lands on the same ring point —
+  // objects and nodes share the identifier space (paper Section III).
+  EXPECT_EQ(ObjectKey("urn:epc:1"), NodeKey("urn:epc:1"));
+  EXPECT_EQ(ObjectKey("abc"),
+            UInt160::FromHex("a9993e364706816aba3e25717850c26c9cd0d89d"));
+}
+
+TEST(Prefix, StringRoundTrip) {
+  const Prefix p = Prefix::FromString("10110");
+  EXPECT_EQ(p.length, 5u);
+  EXPECT_EQ(p.bits, 0b10110u);
+  EXPECT_EQ(p.ToString(), "10110");
+  EXPECT_EQ(Prefix::FromString("").length, 0u);
+  EXPECT_EQ(Prefix::FromString("").ToString(), "");
+}
+
+TEST(Prefix, OfKeyMatchesBitString) {
+  const auto key = ObjectKey("some-object");
+  for (unsigned length : {1u, 4u, 9u, 16u, 33u, 64u}) {
+    const Prefix p = Prefix::OfKey(key, length);
+    EXPECT_EQ(p.ToString(), PrefixString(key, length)) << "length=" << length;
+    EXPECT_TRUE(p.Matches(key));
+  }
+}
+
+TEST(Prefix, LengthClampsTo64) {
+  const auto key = ObjectKey("x");
+  EXPECT_EQ(Prefix::OfKey(key, 200).length, 64u);
+}
+
+TEST(Prefix, ParentChildRelations) {
+  const Prefix p = Prefix::FromString("0110");
+  EXPECT_EQ(p.Parent().ToString(), "011");
+  EXPECT_EQ(p.Child(false).ToString(), "01100");
+  EXPECT_EQ(p.Child(true).ToString(), "01101");
+  EXPECT_EQ(p.Child(true).Parent(), p);
+}
+
+TEST(Prefix, MatchesIsPrefixRelation) {
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto key = ObjectKey("obj-" + std::to_string(i));
+    const Prefix p = Prefix::OfKey(key, 12);
+    EXPECT_TRUE(p.Matches(key));
+    EXPECT_TRUE(p.Parent().Matches(key));
+    // The sibling prefix never matches.
+    Prefix sibling = p;
+    sibling.bits ^= 1;
+    EXPECT_FALSE(sibling.Matches(key));
+  }
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+  const Prefix root = Prefix::FromString("");
+  EXPECT_TRUE(root.Matches(ObjectKey("a")));
+  EXPECT_TRUE(root.Matches(ObjectKey("b")));
+}
+
+TEST(Keyspace, GroupKeyDependsOnTextualPrefix) {
+  // hash("00") != hash("000"): groups of different lengths are distinct
+  // gateway points even when the bits agree (paper Section IV-A2 example).
+  EXPECT_NE(GroupKey(Prefix::FromString("00")), GroupKey(Prefix::FromString("000")));
+  EXPECT_EQ(GroupKey(Prefix::FromString("01")),
+            UInt160::FromDigest(Sha1Hash("01")));
+}
+
+TEST(Keyspace, KeysDisperseUniformly) {
+  // Hash dispersion underpins Eq. 4's uniformity assumption: bucket 10k
+  // object keys by their top 4 bits and expect near-uniform counts.
+  constexpr int kBuckets = 16;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto key = ObjectKey("epc:" + std::to_string(i));
+    ++counts[key.PrefixBits(4)];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0 / kBuckets, 10000.0 / kBuckets * 0.25);
+  }
+}
+
+TEST(Keyspace, PrefixHasherDisperses) {
+  PrefixHasher hasher;
+  std::unordered_set<std::size_t> seen;
+  for (unsigned length = 1; length <= 16; ++length) {
+    for (std::uint64_t bits = 0; bits < (1u << std::min(length, 6u)); ++bits) {
+      seen.insert(hasher(Prefix{bits, length}));
+    }
+  }
+  EXPECT_GT(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace peertrack::hash

@@ -1,0 +1,68 @@
+#include "hash/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace peertrack::hash {
+namespace {
+
+// FIPS 180-1 / RFC 3174 reference vectors.
+TEST(Sha1, FipsVectors) {
+  EXPECT_EQ(ToHex(Sha1Hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(ToHex(Sha1Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(ToHex(Sha1Hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(ToHex(hasher.Finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    Sha1 hasher;
+    hasher.Update(std::string_view(text).substr(0, split));
+    hasher.Update(std::string_view(text).substr(split));
+    EXPECT_EQ(hasher.Finish(), Sha1Hash(text)) << "split=" << split;
+  }
+}
+
+TEST(Sha1, BlockBoundaryLengths) {
+  // Lengths straddling the 64-byte block and 56-byte padding boundaries.
+  for (std::size_t length : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string text(length, 'x');
+    const auto reference = Sha1Hash(text);
+    Sha1 hasher;
+    for (char c : text) hasher.Update(std::string_view(&c, 1));
+    EXPECT_EQ(hasher.Finish(), reference) << "length=" << length;
+  }
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 hasher;
+  hasher.Update("garbage");
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(ToHex(hasher.Finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, BytesOverloadMatchesText) {
+  const std::string text = "binary-equivalence";
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+  EXPECT_EQ(Sha1Hash(bytes), Sha1Hash(text));
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1Hash("object:001"), Sha1Hash("object:002"));
+  EXPECT_NE(Sha1Hash("0"), Sha1Hash("00"));
+}
+
+}  // namespace
+}  // namespace peertrack::hash

@@ -1,0 +1,156 @@
+#include "hash/uint160.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace peertrack::hash {
+namespace {
+
+UInt160 RandomKey(util::Rng& rng) {
+  UInt160::Words words;
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng.Next());
+  return UInt160(words);
+}
+
+TEST(UInt160, HexRoundTrip) {
+  const auto id = UInt160::FromHex("00112233445566778899aabbccddeeff01234567");
+  EXPECT_EQ(id.ToHex(), "00112233445566778899aabbccddeeff01234567");
+  EXPECT_EQ(id.ToShortHex(), "0011223344");
+}
+
+TEST(UInt160, ShortHexRightAligned) {
+  const auto id = UInt160::FromHex("ff");
+  EXPECT_EQ(id, UInt160(0xff));
+  EXPECT_EQ(UInt160::FromHex("1").ToHex().back(), '1');
+}
+
+TEST(UInt160, InvalidHexIsZero) {
+  EXPECT_TRUE(UInt160::FromHex("zzzz").IsZero());
+}
+
+TEST(UInt160, AdditionWrapsModulo2Pow160) {
+  EXPECT_EQ(UInt160::Max() + UInt160(1), UInt160::Zero());
+  EXPECT_EQ(UInt160(1) + UInt160(2), UInt160(3));
+  // Carry propagation across limbs.
+  const auto low_max = UInt160::FromHex("00000000000000000000000000000000ffffffff");
+  const auto expect = UInt160::FromHex("0000000000000000000000000000000100000000");
+  EXPECT_EQ(low_max + UInt160(1), expect);
+}
+
+TEST(UInt160, SubtractionWraps) {
+  EXPECT_EQ(UInt160::Zero() - UInt160(1), UInt160::Max());
+  EXPECT_EQ(UInt160(5) - UInt160(3), UInt160(2));
+}
+
+TEST(UInt160, AddSubInverse) {
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = RandomKey(rng);
+    const auto b = RandomKey(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(UInt160, Pow2) {
+  EXPECT_EQ(UInt160::Pow2(0), UInt160(1));
+  EXPECT_EQ(UInt160::Pow2(33), UInt160(1ULL << 33));
+  EXPECT_EQ(UInt160::Pow2(159).ToHex()[0], '8');
+  EXPECT_TRUE(UInt160::Pow2(160).IsZero());
+}
+
+TEST(UInt160, BitFromMsb) {
+  const auto top = UInt160::Pow2(159);
+  EXPECT_TRUE(top.BitFromMsb(0));
+  EXPECT_FALSE(top.BitFromMsb(1));
+  const auto one = UInt160(1);
+  EXPECT_TRUE(one.BitFromMsb(159));
+  EXPECT_FALSE(one.BitFromMsb(158));
+}
+
+TEST(UInt160, PrefixBits) {
+  const auto id = UInt160::FromHex("f000000000000000000000000000000000000000");
+  EXPECT_EQ(id.PrefixBits(4), 0xFu);
+  EXPECT_EQ(id.PrefixBits(8), 0xF0u);
+  EXPECT_EQ(id.PrefixBits(0), 0u);
+  const auto mixed = UInt160::FromHex("abcdef0123456789abcdef0123456789abcdef01");
+  EXPECT_EQ(mixed.PrefixBits(16), 0xabcdu);
+  EXPECT_EQ(mixed.PrefixBits(64), 0xabcdef0123456789ULL);
+}
+
+TEST(UInt160, OpenIntervalNoWrap) {
+  const UInt160 lo(10), hi(20);
+  EXPECT_TRUE(UInt160(15).InOpenInterval(lo, hi));
+  EXPECT_FALSE(UInt160(10).InOpenInterval(lo, hi));
+  EXPECT_FALSE(UInt160(20).InOpenInterval(lo, hi));
+  EXPECT_FALSE(UInt160(25).InOpenInterval(lo, hi));
+}
+
+TEST(UInt160, OpenIntervalWrapping) {
+  // Interval wrapping through zero: (max-5, 5).
+  const UInt160 lo = UInt160::Max() - UInt160(5);
+  const UInt160 hi(5);
+  EXPECT_TRUE(UInt160::Max().InOpenInterval(lo, hi));
+  EXPECT_TRUE(UInt160(0).InOpenInterval(lo, hi));
+  EXPECT_TRUE(UInt160(4).InOpenInterval(lo, hi));
+  EXPECT_FALSE(UInt160(5).InOpenInterval(lo, hi));
+  EXPECT_FALSE(UInt160(100).InOpenInterval(lo, hi));
+}
+
+TEST(UInt160, DegenerateIntervalIsWholeRing) {
+  const UInt160 x(42);
+  EXPECT_TRUE(UInt160(7).InOpenInterval(x, x));
+  EXPECT_FALSE(x.InOpenInterval(x, x));
+  EXPECT_TRUE(x.InHalfOpenLoHi(x, x));
+  EXPECT_TRUE(UInt160(7).InHalfOpenLoHi(x, x));
+}
+
+TEST(UInt160, HalfOpenIncludesHighEnd) {
+  const UInt160 lo(10), hi(20);
+  EXPECT_TRUE(UInt160(20).InHalfOpenLoHi(lo, hi));
+  EXPECT_FALSE(UInt160(10).InHalfOpenLoHi(lo, hi));
+  // Wrapping variant.
+  const UInt160 wlo = UInt160::Max() - UInt160(1);
+  EXPECT_TRUE(UInt160(3).InHalfOpenLoHi(wlo, UInt160(3)));
+  EXPECT_FALSE(UInt160(4).InHalfOpenLoHi(wlo, UInt160(3)));
+}
+
+TEST(UInt160, IntervalConsistencyProperty) {
+  // For random (lo, hi, x): x in (lo,hi] iff x in (lo,hi) or x == hi.
+  util::Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const auto lo = RandomKey(rng);
+    const auto hi = RandomKey(rng);
+    const auto x = RandomKey(rng);
+    const bool open = x.InOpenInterval(lo, hi);
+    const bool half = x.InHalfOpenLoHi(lo, hi);
+    EXPECT_EQ(half, open || x == hi);
+  }
+}
+
+TEST(UInt160, DistanceFrom) {
+  EXPECT_EQ(UInt160(10).DistanceFrom(UInt160(4)), UInt160(6));
+  // Distance wraps.
+  EXPECT_EQ(UInt160(2).DistanceFrom(UInt160::Max()), UInt160(3));
+}
+
+TEST(UInt160, ComparisonIsBigEndianNumeric) {
+  const auto small = UInt160::FromHex("0000000000000000000000000000000000000001");
+  const auto big = UInt160::FromHex("8000000000000000000000000000000000000000");
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, UInt160(1));
+}
+
+TEST(UInt160, Fold64Disperses) {
+  util::Rng rng(31);
+  std::set<std::uint64_t> folds;
+  for (int i = 0; i < 1000; ++i) folds.insert(RandomKey(rng).Fold64());
+  EXPECT_EQ(folds.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace peertrack::hash

@@ -1,0 +1,127 @@
+#include "moods/iop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peertrack::moods {
+namespace {
+
+hash::UInt160 Obj(int i) { return hash::ObjectKey("object-" + std::to_string(i)); }
+
+chord::NodeRef Node(sim::ActorId actor) { return chord::NodeRef{hash::UInt160(actor), actor}; }
+
+TEST(IopStore, RecordsAndFindsVisits) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 50.0);
+  EXPECT_TRUE(store.Knows(Obj(1)));
+  EXPECT_FALSE(store.Knows(Obj(2)));
+  const auto* visits = store.VisitsOf(Obj(1));
+  ASSERT_NE(visits, nullptr);
+  ASSERT_EQ(visits->size(), 2u);
+  EXPECT_DOUBLE_EQ((*visits)[0].arrived, 10.0);
+  EXPECT_DOUBLE_EQ((*visits)[1].arrived, 50.0);
+  EXPECT_EQ(store.ObjectCount(), 1u);
+  EXPECT_EQ(store.VisitCount(), 2u);
+}
+
+TEST(IopStore, OutOfOrderArrivalsStaySorted) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 50.0);
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 30.0);
+  const auto* visits = store.VisitsOf(Obj(1));
+  ASSERT_EQ(visits->size(), 3u);
+  EXPECT_DOUBLE_EQ((*visits)[0].arrived, 10.0);
+  EXPECT_DOUBLE_EQ((*visits)[1].arrived, 30.0);
+  EXPECT_DOUBLE_EQ((*visits)[2].arrived, 50.0);
+}
+
+TEST(IopStore, DuplicateArrivalIsIdempotent) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 10.0);
+  EXPECT_EQ(store.VisitsOf(Obj(1))->size(), 1u);
+  EXPECT_EQ(store.VisitCount(), 1u);
+}
+
+TEST(IopStore, SetFromLinksTheRightVisit) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 50.0);
+  store.SetFrom(Obj(1), 50.0, Node(7), 42.0);
+  const Visit* visit = store.VisitAt(Obj(1), 50.0);
+  ASSERT_NE(visit, nullptr);
+  ASSERT_TRUE(visit->from.has_value());
+  EXPECT_EQ(visit->from->actor, 7u);
+  EXPECT_DOUBLE_EQ(*visit->from_arrived, 42.0);
+  // The earlier visit is untouched.
+  EXPECT_FALSE(store.VisitAt(Obj(1), 10.0)->from.has_value());
+}
+
+TEST(IopStore, SetFromBeforeArrivalCreatesVisit) {
+  // M3 can overtake the local capture record in a reordered network.
+  IopStore store;
+  store.SetFrom(Obj(1), 25.0, Node(3), 20.0);
+  ASSERT_TRUE(store.Knows(Obj(1)));
+  const Visit* visit = store.VisitAt(Obj(1), 25.0);
+  ASSERT_NE(visit, nullptr);
+  EXPECT_EQ(visit->from->actor, 3u);
+}
+
+TEST(IopStore, SetFromFirstAppearance) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.SetFrom(Obj(1), 10.0, chord::NodeRef{}, std::nullopt);
+  const Visit* visit = store.VisitAt(Obj(1), 10.0);
+  ASSERT_TRUE(visit->from.has_value());
+  EXPECT_FALSE(visit->from->Valid());
+}
+
+TEST(IopStore, SetToPicksLatestVisitBeforeDeparture) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 100.0);
+  // Object left the first visit, arriving elsewhere at t=60.
+  store.SetTo(Obj(1), Node(9), 60.0);
+  const Visit* first = store.VisitAt(Obj(1), 10.0);
+  ASSERT_TRUE(first->to.has_value());
+  EXPECT_EQ(first->to->actor, 9u);
+  EXPECT_DOUBLE_EQ(*first->to_arrived, 60.0);
+  EXPECT_FALSE(store.VisitAt(Obj(1), 100.0)->to.has_value());
+}
+
+TEST(IopStore, SetToUnknownObjectIsIgnored) {
+  IopStore store;
+  store.SetTo(Obj(5), Node(1), 10.0);
+  EXPECT_FALSE(store.Knows(Obj(5)));
+}
+
+TEST(IopStore, VisitAtOrBefore) {
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 50.0);
+  EXPECT_EQ(store.VisitAtOrBefore(Obj(1), 5.0), nullptr);
+  EXPECT_DOUBLE_EQ(store.VisitAtOrBefore(Obj(1), 10.0)->arrived, 10.0);
+  EXPECT_DOUBLE_EQ(store.VisitAtOrBefore(Obj(1), 49.9)->arrived, 10.0);
+  EXPECT_DOUBLE_EQ(store.VisitAtOrBefore(Obj(1), 1000.0)->arrived, 50.0);
+}
+
+TEST(IopStore, RevisitsKeepIndependentLinks) {
+  // The same object visits this node twice; each visit holds its own
+  // from/to pair (the doubly-linked list passes through this node twice).
+  IopStore store;
+  store.RecordArrival(Obj(1), 10.0);
+  store.RecordArrival(Obj(1), 200.0);
+  store.SetFrom(Obj(1), 10.0, chord::NodeRef{}, std::nullopt);
+  store.SetTo(Obj(1), Node(2), 100.0);
+  store.SetFrom(Obj(1), 200.0, Node(2), 100.0);
+  const Visit* first = store.VisitAt(Obj(1), 10.0);
+  const Visit* second = store.VisitAt(Obj(1), 200.0);
+  EXPECT_FALSE(first->from->Valid());
+  EXPECT_EQ(first->to->actor, 2u);
+  EXPECT_EQ(second->from->actor, 2u);
+  EXPECT_FALSE(second->to.has_value());
+}
+
+}  // namespace
+}  // namespace peertrack::moods

@@ -1,0 +1,63 @@
+#include "moods/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peertrack::moods {
+namespace {
+
+hash::UInt160 Obj(int i) { return hash::ObjectKey("oracle-obj-" + std::to_string(i)); }
+
+TEST(Oracle, LocateFollowsMovements) {
+  TrajectoryOracle oracle;
+  oracle.RecordMovement(Obj(1), 3, 10.0);
+  oracle.RecordMovement(Obj(1), 7, 50.0);
+  EXPECT_EQ(oracle.Locate(Obj(1), 5.0), kNowhere);   // Before first capture.
+  EXPECT_EQ(oracle.Locate(Obj(1), 10.0), 3u);
+  EXPECT_EQ(oracle.Locate(Obj(1), 49.9), 3u);
+  EXPECT_EQ(oracle.Locate(Obj(1), 50.0), 7u);
+  EXPECT_EQ(oracle.Locate(Obj(1), 1e9), 7u);
+  EXPECT_EQ(oracle.Locate(Obj(2), 10.0), kNowhere);  // Unknown object.
+}
+
+TEST(Oracle, TraceWindowSemantics) {
+  TrajectoryOracle oracle;
+  oracle.RecordMovement(Obj(1), 1, 10.0);
+  oracle.RecordMovement(Obj(1), 2, 20.0);
+  oracle.RecordMovement(Obj(1), 3, 30.0);
+
+  // Full window.
+  auto trace = oracle.Trace(Obj(1), 0.0, 100.0);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].node, 1u);
+  EXPECT_EQ(trace[2].node, 3u);
+
+  // Window starting mid-visit includes the current visit.
+  trace = oracle.Trace(Obj(1), 15.0, 25.0);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].node, 1u);
+  EXPECT_EQ(trace[1].node, 2u);
+
+  // Empty/invalid windows.
+  EXPECT_TRUE(oracle.Trace(Obj(1), 50.0, 40.0).empty());
+  EXPECT_TRUE(oracle.Trace(Obj(2), 0.0, 100.0).empty());
+}
+
+TEST(Oracle, OutOfOrderRecordingSorts) {
+  TrajectoryOracle oracle;
+  oracle.RecordMovement(Obj(1), 2, 20.0);
+  oracle.RecordMovement(Obj(1), 1, 10.0);
+  const auto* trace = oracle.FullTrace(Obj(1));
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->size(), 2u);
+  EXPECT_EQ((*trace)[0].node, 1u);
+  EXPECT_EQ((*trace)[1].node, 2u);
+}
+
+TEST(Oracle, FullTraceUnknownIsNull) {
+  TrajectoryOracle oracle;
+  EXPECT_EQ(oracle.FullTrace(Obj(9)), nullptr);
+  EXPECT_EQ(oracle.ObjectCount(), 0u);
+}
+
+}  // namespace
+}  // namespace peertrack::moods

@@ -1,0 +1,55 @@
+#include "moods/receptor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peertrack::moods {
+namespace {
+
+TEST(Receptor, ForwardsCapturesToSink) {
+  std::vector<std::pair<std::string, Time>> captured;
+  Receptor receptor("dock-door-1", [&](const Object& o, Time t) {
+    captured.emplace_back(o.RawId(), t);
+  });
+  receptor.Read(Object("epc:1"), 10.0);
+  receptor.Read(Object("epc:2"), 11.0);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, "epc:1");
+  EXPECT_DOUBLE_EQ(captured[1].second, 11.0);
+  EXPECT_EQ(receptor.RawReads(), 2u);
+  EXPECT_EQ(receptor.Captures(), 2u);
+}
+
+TEST(Receptor, DedupWindowCollapsesRepeatedReads) {
+  int captures = 0;
+  Receptor receptor("gate", [&](const Object&, Time) { ++captures; });
+  receptor.SetDedupWindow(100.0);
+  const Object tag("epc:42");
+  receptor.Read(tag, 0.0);
+  receptor.Read(tag, 10.0);   // Duplicate.
+  receptor.Read(tag, 50.0);   // Duplicate (window slides with last read).
+  receptor.Read(tag, 200.0);  // New capture.
+  EXPECT_EQ(captures, 2);
+  EXPECT_EQ(receptor.RawReads(), 4u);
+  EXPECT_EQ(receptor.Captures(), 2u);
+}
+
+TEST(Receptor, DistinctObjectsNotDeduped) {
+  int captures = 0;
+  Receptor receptor("gate", [&](const Object&, Time) { ++captures; });
+  receptor.SetDedupWindow(100.0);
+  receptor.Read(Object("epc:a"), 0.0);
+  receptor.Read(Object("epc:b"), 1.0);
+  EXPECT_EQ(captures, 2);
+}
+
+TEST(Receptor, ZeroWindowDisablesDedup) {
+  int captures = 0;
+  Receptor receptor("gate", [&](const Object&, Time) { ++captures; });
+  const Object tag("epc:x");
+  receptor.Read(tag, 0.0);
+  receptor.Read(tag, 0.0);
+  EXPECT_EQ(captures, 2);
+}
+
+}  // namespace
+}  // namespace peertrack::moods

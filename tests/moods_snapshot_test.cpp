@@ -1,0 +1,133 @@
+// Snapshot/restore round-trips of the local repository.
+
+#include <gtest/gtest.h>
+
+#include "moods/snapshot.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace peertrack::moods {
+namespace {
+
+hash::UInt160 Obj(int i) { return hash::ObjectKey("snap-" + std::to_string(i)); }
+
+chord::NodeRef Node(sim::ActorId actor) {
+  return chord::NodeRef{hash::UInt160(actor), actor};
+}
+
+bool VisitsEqual(const Visit& a, const Visit& b) {
+  auto ref_eq = [](const std::optional<chord::NodeRef>& x,
+                   const std::optional<chord::NodeRef>& y) {
+    if (x.has_value() != y.has_value()) return false;
+    return !x.has_value() || (*x == *y);
+  };
+  return a.arrived == b.arrived && ref_eq(a.from, b.from) && ref_eq(a.to, b.to) &&
+         a.from_arrived == b.from_arrived && a.to_arrived == b.to_arrived;
+}
+
+IopStore MakePopulatedStore(int objects, util::Rng& rng) {
+  IopStore store;
+  for (int i = 0; i < objects; ++i) {
+    double t = 10.0;
+    const int visits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int v = 0; v < visits; ++v) {
+      store.RecordArrival(Obj(i), t);
+      if (v == 0) {
+        store.SetFrom(Obj(i), t, chord::NodeRef{}, std::nullopt);  // First sight.
+      } else {
+        store.SetFrom(Obj(i), t, Node(static_cast<sim::ActorId>(v)), t - 100.0);
+      }
+      if (rng.NextBool(0.5)) {
+        store.SetTo(Obj(i), Node(static_cast<sim::ActorId>(v + 10)), t + 50.0);
+      }
+      t += 1000.0;
+    }
+  }
+  return store;
+}
+
+TEST(Snapshot, RoundTripPreservesEverything) {
+  util::Rng rng(44);
+  const IopStore original = MakePopulatedStore(50, rng);
+  const auto blob = SaveIopStore(original);
+  ASSERT_FALSE(blob.empty());
+
+  IopStore restored;
+  ASSERT_TRUE(LoadIopStore(blob, restored));
+  EXPECT_EQ(restored.ObjectCount(), original.ObjectCount());
+  EXPECT_EQ(restored.VisitCount(), original.VisitCount());
+
+  original.ForEachObject([&](const hash::UInt160& object,
+                             const std::vector<Visit>& visits) {
+    const auto* other = restored.VisitsOf(object);
+    ASSERT_NE(other, nullptr) << object.ToShortHex();
+    ASSERT_EQ(other->size(), visits.size());
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_TRUE(VisitsEqual(visits[i], (*other)[i])) << object.ToShortHex();
+    }
+  });
+}
+
+TEST(Snapshot, EmptyStoreRoundTrips) {
+  IopStore empty;
+  IopStore restored;
+  EXPECT_TRUE(LoadIopStore(SaveIopStore(empty), restored));
+  EXPECT_EQ(restored.ObjectCount(), 0u);
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  util::Rng rng(7);
+  auto blob = SaveIopStore(MakePopulatedStore(3, rng));
+  blob[0] ^= 0xFF;
+  IopStore restored;
+  EXPECT_FALSE(LoadIopStore(blob, restored));
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  util::Rng rng(7);
+  auto blob = SaveIopStore(MakePopulatedStore(5, rng));
+  blob.resize(blob.size() / 2);
+  IopStore restored;
+  EXPECT_FALSE(LoadIopStore(blob, restored));
+}
+
+TEST(Snapshot, RejectsTrailingGarbage) {
+  util::Rng rng(7);
+  auto blob = SaveIopStore(MakePopulatedStore(2, rng));
+  blob.push_back(0x42);
+  IopStore restored;
+  EXPECT_FALSE(LoadIopStore(blob, restored));
+}
+
+TEST(ByteCodec, PrimitivesRoundTrip) {
+  util::ByteWriter writer;
+  writer.U8(0xAB);
+  writer.U32(0xDEADBEEF);
+  writer.U64(0x0123456789ABCDEFULL);
+  writer.F64(-3.75);
+  writer.Bool(true);
+  writer.String("hello \x01 world");
+
+  util::ByteReader reader(writer.Data());
+  EXPECT_EQ(reader.U8(), 0xAB);
+  EXPECT_EQ(reader.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(reader.F64(), -3.75);
+  EXPECT_TRUE(reader.Bool());
+  EXPECT_EQ(reader.String(), "hello \x01 world");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteCodec, OverreadLatchesError) {
+  util::ByteWriter writer;
+  writer.U8(1);
+  util::ByteReader reader(writer.Data());
+  reader.U8();
+  reader.U64();  // Past the end.
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.U32(), 0u);  // Still safe to call.
+}
+
+}  // namespace
+}  // namespace peertrack::moods

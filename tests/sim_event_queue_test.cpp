@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peertrack::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    auto entry = q.Pop();
+    entry.action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) q.Pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool fired = false;
+  auto handle = q.Push(1.0, [&] { fired = true; });
+  q.Push(2.0, [] {});
+  handle.Cancel();
+  int popped = 0;
+  while (!q.Empty()) {
+    q.Pop().action();
+    ++popped;
+  }
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(popped, 1);
+}
+
+TEST(EventQueue, CancelAllMakesEmpty) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    handles.push_back(q.Push(1.0 * i, [] {}));
+  }
+  for (auto& h : handles) h.Cancel();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto early = q.Push(1.0, [] {});
+  q.Push(9.0, [] {});
+  early.Cancel();
+  EXPECT_DOUBLE_EQ(q.NextTime(), 9.0);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.Valid());
+  handle.Cancel();  // Must not crash.
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  auto handle = q.Push(1.0, [] {});
+  q.Pop().action();
+  handle.Cancel();  // Event already gone.
+  EXPECT_TRUE(q.Empty());
+}
+
+}  // namespace
+}  // namespace peertrack::sim

@@ -1,0 +1,118 @@
+// Message-loss injection and its effect on the protocols.
+
+#include <gtest/gtest.h>
+
+#include "chord/chord_ring.hpp"
+#include "tracking/tracking_system.hpp"
+#include "util/format.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack {
+namespace {
+
+struct CountingActor final : sim::Actor {
+  int received = 0;
+  void OnMessage(sim::ActorId, std::unique_ptr<sim::Message>) override { ++received; }
+};
+
+struct PingMessage final : sim::Message {
+  std::string_view TypeName() const noexcept override { return "test.ping"; }
+  std::size_t ApproxBytes() const noexcept override { return 1; }
+};
+
+TEST(MessageLoss, DropRateIsRespected) {
+  sim::Simulator sim;
+  sim::ConstantLatency latency(1.0);
+  util::Rng rng(3);
+  sim::Network net(sim, latency, rng);
+  CountingActor a, b;
+  const auto ida = net.Register(a);
+  const auto idb = net.Register(b);
+
+  net.SetLossRate(0.25);
+  constexpr int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) {
+    net.Send(ida, idb, std::make_unique<PingMessage>());
+  }
+  sim.Run();
+  EXPECT_NEAR(b.received, kSends * 0.75, kSends * 0.05);
+  EXPECT_EQ(net.metrics().DroppedMessages(),
+            static_cast<std::uint64_t>(kSends - b.received));
+  // Senders paid for every message, lost or not.
+  EXPECT_EQ(net.metrics().TotalMessages(), static_cast<std::uint64_t>(kSends));
+}
+
+TEST(MessageLoss, ZeroAndFullRates) {
+  sim::Simulator sim;
+  sim::ConstantLatency latency(1.0);
+  util::Rng rng(3);
+  sim::Network net(sim, latency, rng);
+  CountingActor a, b;
+  const auto ida = net.Register(a);
+  const auto idb = net.Register(b);
+
+  net.SetLossRate(0.0);
+  for (int i = 0; i < 50; ++i) net.Send(ida, idb, std::make_unique<PingMessage>());
+  sim.Run();
+  EXPECT_EQ(b.received, 50);
+
+  net.SetLossRate(1.0);
+  for (int i = 0; i < 50; ++i) net.Send(ida, idb, std::make_unique<PingMessage>());
+  sim.Run();
+  EXPECT_EQ(b.received, 50);  // Nothing new arrived.
+
+  net.SetLossRate(7.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(net.LossRate(), 1.0);
+}
+
+TEST(MessageLoss, ChordLookupsSurviveModerateLoss) {
+  // Iterative lookups retry after hop timeouts, so moderate loss degrades
+  // latency, not correctness.
+  sim::Simulator sim;
+  sim::ConstantLatency latency(5.0);
+  util::Rng rng(11);
+  sim::Network net(sim, latency, rng);
+  chord::ChordRing ring(net);
+  for (int i = 0; i < 24; ++i) ring.AddNode(util::Format("loss-{}", i));
+  ring.OracleBootstrap();
+  net.SetLossRate(0.05);
+
+  util::Rng keys(5);
+  int resolved = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    hash::UInt160::Words words;
+    for (auto& w : words) w = static_cast<std::uint32_t>(keys.Next());
+    const chord::Key key{words};
+    ring.Node(static_cast<std::size_t>(keys.NextBelow(24))).Lookup(
+        key, [&](const chord::NodeRef& owner, std::size_t) {
+          if (owner.Valid() && owner.actor == ring.ExpectedSuccessor(key).actor) {
+            ++resolved;
+          }
+        });
+    sim.Run();
+  }
+  EXPECT_GE(resolved, 36);  // Allow a few unlucky multi-loss failures.
+}
+
+TEST(MessageLoss, QueriesTimeOutCleanlyUnderTotalLoss) {
+  tracking::SystemConfig config;
+  config.tracker.mode = tracking::IndexingMode::kIndividual;
+  config.tracker.query_timeout_ms = 2000.0;
+  tracking::TrackingSystem system(8, config);
+  const auto object = hash::ObjectKey("epc:lossy");
+  workload::InjectTrajectory(system, object, {1, 5}, 10.0, 500.0);
+  system.Run();
+
+  system.network().SetLossRate(1.0);
+  bool done = false;
+  system.TraceQuery(0, object, [&](tracking::TrackerNode::TraceResult result) {
+    EXPECT_FALSE(result.ok);
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GE(system.metrics().Counter("track.query_timeout"), 1u);
+}
+
+}  // namespace
+}  // namespace peertrack

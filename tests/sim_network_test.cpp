@@ -1,0 +1,157 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peertrack::sim {
+namespace {
+
+struct TestMessage final : Message {
+  explicit TestMessage(int v) : value(v) {}
+  int value;
+  std::string_view TypeName() const noexcept override { return "test.msg"; }
+  std::size_t ApproxBytes() const noexcept override { return 4; }
+};
+
+struct Recorder final : Actor {
+  std::vector<std::pair<ActorId, int>> received;
+  double* clock = nullptr;
+  std::vector<double> receive_times;
+  Simulator* sim = nullptr;
+
+  void OnMessage(ActorId from, std::unique_ptr<Message> message) override {
+    auto* msg = dynamic_cast<TestMessage*>(message.get());
+    ASSERT_NE(msg, nullptr);
+    received.emplace_back(from, msg->value);
+    if (sim != nullptr) receive_times.push_back(sim->Now());
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : latency_(5.0), rng_(1), net_(sim_, latency_, rng_) {}
+
+  Simulator sim_;
+  ConstantLatency latency_;
+  util::Rng rng_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  Recorder a, b;
+  b.sim = &sim_;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  net_.Send(ida, idb, std::make_unique<TestMessage>(42));
+  sim_.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, ida);
+  EXPECT_EQ(b.received[0].second, 42);
+  EXPECT_DOUBLE_EQ(b.receive_times[0], 5.0);
+}
+
+TEST_F(NetworkTest, RemoteSendIsCounted) {
+  Recorder a, b;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  net_.Send(ida, idb, std::make_unique<TestMessage>(1));
+  sim_.Run();
+  EXPECT_EQ(net_.metrics().TotalMessages(), 1u);
+  EXPECT_EQ(net_.metrics().TotalBytes(), kMessageHeaderBytes + 4);
+  EXPECT_EQ(net_.metrics().ForType("test.msg").count, 1u);
+}
+
+TEST_F(NetworkTest, SelfSendIsFreeAndImmediate) {
+  Recorder a;
+  a.sim = &sim_;
+  const ActorId ida = net_.Register(a);
+  net_.Send(ida, ida, std::make_unique<TestMessage>(9));
+  sim_.Run();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.receive_times[0], 0.0);
+  EXPECT_EQ(net_.metrics().TotalMessages(), 0u);
+}
+
+TEST_F(NetworkTest, DownActorDropsAndCounts) {
+  Recorder a, b;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  net_.SetUp(idb, false);
+  net_.Send(ida, idb, std::make_unique<TestMessage>(3));
+  sim_.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net_.metrics().DroppedMessages(), 1u);
+  // The send itself was still counted (the sender paid for it).
+  EXPECT_EQ(net_.metrics().TotalMessages(), 1u);
+}
+
+TEST_F(NetworkTest, MessageInFlightWhenReceiverGoesDownIsDropped) {
+  Recorder a, b;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  net_.Send(ida, idb, std::make_unique<TestMessage>(3));
+  // Receiver crashes before the 5 ms delivery.
+  sim_.ScheduleAt(1.0, [&] { net_.SetUp(idb, false); });
+  sim_.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net_.metrics().DroppedMessages(), 1u);
+}
+
+TEST_F(NetworkTest, SendInstantDeliversSynchronously) {
+  Recorder a, b;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  net_.SendInstant(ida, idb, std::make_unique<TestMessage>(7));
+  // No simulator run needed.
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(net_.metrics().TotalMessages(), 1u);
+}
+
+TEST_F(NetworkTest, PerActorCountsTrackSendersAndReceivers) {
+  Recorder a, b;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  for (int i = 0; i < 3; ++i) net_.Send(ida, idb, std::make_unique<TestMessage>(i));
+  sim_.Run();
+  ASSERT_GT(net_.metrics().SentPerActor().size(), ida);
+  ASSERT_GT(net_.metrics().ReceivedPerActor().size(), idb);
+  EXPECT_EQ(net_.metrics().SentPerActor()[ida], 3u);
+  EXPECT_EQ(net_.metrics().ReceivedPerActor()[idb], 3u);
+}
+
+TEST_F(NetworkTest, MetricsResetClears) {
+  Recorder a, b;
+  const ActorId ida = net_.Register(a);
+  const ActorId idb = net_.Register(b);
+  net_.Send(ida, idb, std::make_unique<TestMessage>(0));
+  sim_.Run();
+  net_.metrics().Reset();
+  EXPECT_EQ(net_.metrics().TotalMessages(), 0u);
+  EXPECT_EQ(net_.metrics().ForType("test.msg").count, 0u);
+}
+
+TEST(LatencyModels, ConstantAndFactory) {
+  util::Rng rng(2);
+  ConstantLatency c(5.0);
+  EXPECT_DOUBLE_EQ(c.Sample(rng), 5.0);
+
+  auto model = MakeLatencyModel("constant:2.5");
+  EXPECT_DOUBLE_EQ(model->Sample(rng), 2.5);
+
+  auto uniform = MakeLatencyModel("uniform:1:3");
+  for (int i = 0; i < 100; ++i) {
+    const double v = uniform->Sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 3.0);
+  }
+
+  auto lognormal = MakeLatencyModel("lognormal:5:0.5");
+  for (int i = 0; i < 100; ++i) EXPECT_GT(lognormal->Sample(rng), 0.0);
+
+  // Unknown spec falls back to constant 5.
+  EXPECT_DOUBLE_EQ(MakeLatencyModel("bogus")->Sample(rng), 5.0);
+}
+
+}  // namespace
+}  // namespace peertrack::sim

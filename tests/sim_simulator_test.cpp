@@ -1,0 +1,97 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peertrack::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> observed;
+  sim.ScheduleAt(5.0, [&] { observed.push_back(sim.Now()); });
+  sim.ScheduleAt(2.0, [&] { observed.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(observed, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(10.0, [&] {
+    sim.ScheduleAfter(5.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(10.0, [&] {
+    sim.ScheduleAt(3.0, [&] { fired_at = sim.Now(); });  // In the past.
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  Simulator sim;
+  int count = 0;
+  // Self-rescheduling chain of 10 events.
+  util::UniqueFunction<void()> tick;
+  std::function<void()> step = [&] {
+    if (++count < 10) sim.ScheduleAfter(1.0, [&] { step(); });
+  };
+  sim.ScheduleAfter(1.0, [&] { step(); });
+  sim.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(static_cast<double>(i), [&] { ++fired; });
+  }
+  const auto processed = sim.RunUntil(5.0);
+  EXPECT_EQ(processed, 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(100.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 100.0);
+}
+
+TEST(Simulator, MaxEventsBoundsRun) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.ScheduleAt(i, [] {});
+  EXPECT_EQ(sim.Run(3), 3u);
+  EXPECT_EQ(sim.PendingEvents(), 7u);
+}
+
+TEST(Simulator, ProcessedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.ScheduleAt(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.ProcessedEvents(), 4u);
+}
+
+TEST(Simulator, NegativeDelayClampsToZero) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAfter(-5.0, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 0.0);
+}
+
+}  // namespace
+}  // namespace peertrack::sim

@@ -1,0 +1,101 @@
+// Trace auditing (clone / dwell anomaly detection).
+
+#include <gtest/gtest.h>
+
+#include "tracking/audit.hpp"
+#include "tracking/tracking_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+TrackerNode::TraceStep Step(sim::ActorId actor, moods::Time at) {
+  TrackerNode::TraceStep step;
+  step.node = chord::NodeRef{hash::UInt160(actor), actor};
+  step.arrived = at;
+  return step;
+}
+
+TEST(TraceAuditor, CleanTraceHasNoAnomalies) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 1000.0;
+  TraceAuditor auditor(limits);
+  const std::vector<TrackerNode::TraceStep> path = {
+      Step(1, 0.0), Step(2, 5000.0), Step(3, 12000.0)};
+  EXPECT_TRUE(auditor.Audit(path).empty());
+  EXPECT_FALSE(auditor.LooksCloned(path));
+}
+
+TEST(TraceAuditor, DetectsImpossibleTransit) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 1000.0;
+  TraceAuditor auditor(limits);
+  const std::vector<TrackerNode::TraceStep> path = {
+      Step(1, 0.0), Step(2, 100.0),  // 100 ms between sites: impossible.
+      Step(3, 5000.0)};
+  const auto anomalies = auditor.Audit(path);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, TraceAuditor::AnomalyKind::kImpossibleTransit);
+  EXPECT_EQ(anomalies[0].step_index, 1u);
+  EXPECT_DOUBLE_EQ(anomalies[0].gap_ms, 100.0);
+  EXPECT_TRUE(auditor.LooksCloned(path));
+  EXPECT_FALSE(anomalies[0].Describe().empty());
+}
+
+TEST(TraceAuditor, RevisitAtSameSiteIsNotTransit) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 1000.0;
+  TraceAuditor auditor(limits);
+  // Two captures at the SAME site 100 ms apart (second reader): fine.
+  const std::vector<TrackerNode::TraceStep> path = {Step(4, 0.0), Step(4, 100.0)};
+  EXPECT_FALSE(auditor.LooksCloned(path));
+}
+
+TEST(TraceAuditor, DetectsExcessiveDwell) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 100.0;
+  limits.max_dwell_ms = 10'000.0;
+  TraceAuditor auditor(limits);
+  const std::vector<TrackerNode::TraceStep> path = {
+      Step(1, 0.0), Step(2, 50'000.0)};  // 50 s at site 1.
+  const auto anomalies = auditor.Audit(path);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, TraceAuditor::AnomalyKind::kExcessiveDwell);
+  EXPECT_EQ(anomalies[0].step_index, 0u);
+}
+
+TEST(TraceAuditor, DwellCheckDisabledByDefault) {
+  TraceAuditor auditor;  // max_dwell_ms == 0.
+  const std::vector<TrackerNode::TraceStep> path = {Step(1, 0.0), Step(2, 1e9)};
+  EXPECT_TRUE(auditor.Audit(path).empty());
+}
+
+TEST(TraceAuditor, EndToEndCloneInjection) {
+  // Full-stack version of examples/counterfeit_detection: a clone's capture
+  // inside the genuine item's transit window is flagged from a distributed
+  // trace query result.
+  tracking::SystemConfig config;
+  config.tracker.mode = IndexingMode::kIndividual;
+  TrackingSystem system(16, config);
+  const auto genuine = hash::ObjectKey("epc:audited");
+  system.CaptureAt(2, genuine, 10.0);
+  system.CaptureAt(5, genuine, 10.0 + 1'200'000.0);   // Legit transit.
+  system.CaptureAt(11, genuine, 10.0 + 1'201'000.0);  // Clone: 1 s later.
+  system.Run();
+  system.FlushAllWindows();
+
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 600'000.0;
+  TraceAuditor auditor(limits);
+  bool done = false;
+  system.TraceQuery(0, genuine, [&](TrackerNode::TraceResult result) {
+    ASSERT_TRUE(result.ok);
+    EXPECT_TRUE(auditor.LooksCloned(result.path));
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

@@ -1,0 +1,123 @@
+// Flooding-baseline query engine: correctness and cost characteristics.
+
+#include <gtest/gtest.h>
+
+#include "tracking/tracking_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+SystemConfig FloodConfig() {
+  SystemConfig config;
+  config.tracker.mode = IndexingMode::kIndividual;
+  config.seed = 0xf100dULL;
+  return config;
+}
+
+TEST(Flooding, RecoversFullTrajectory) {
+  TrackingSystem system(12, FloodConfig());
+  const auto object = hash::ObjectKey("epc:flooded");
+  workload::InjectTrajectory(system, object, {2, 7, 4}, 10.0, 500.0);
+  system.Run();
+
+  bool done = false;
+  system.FloodTraceQuery(0, object, [&](FloodingQueryEngine::Result result) {
+    ASSERT_TRUE(result.ok);
+    ASSERT_EQ(result.path.size(), 3u);
+    EXPECT_EQ(system.NodeIndexOfActor(result.path[0].first.actor), 2u);
+    EXPECT_EQ(system.NodeIndexOfActor(result.path[1].first.actor), 7u);
+    EXPECT_EQ(system.NodeIndexOfActor(result.path[2].first.actor), 4u);
+    EXPECT_DOUBLE_EQ(result.path[0].second, 10.0);
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Flooding, UnknownObjectReportsNotOk) {
+  TrackingSystem system(8, FloodConfig());
+  system.Run();
+  bool done = false;
+  system.FloodTraceQuery(3, hash::ObjectKey("epc:nobody"),
+                         [&](FloodingQueryEngine::Result result) {
+                           EXPECT_FALSE(result.ok);
+                           EXPECT_TRUE(result.path.empty());
+                           done = true;
+                         });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Flooding, CostsLinearInNetworkSize) {
+  // 2(N-1) messages per query regardless of trace length.
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    TrackingSystem system(n, FloodConfig());
+    const auto object = hash::ObjectKey("epc:costly");
+    workload::InjectTrajectory(system, object, {1, 2}, 10.0, 500.0);
+    system.Run();
+    system.metrics().Reset();
+
+    std::size_t messages = 0;
+    system.FloodTraceQuery(0, object, [&](FloodingQueryEngine::Result result) {
+      messages = result.messages;
+    });
+    system.Run();
+    EXPECT_EQ(messages, 2 * (n - 1)) << "n=" << n;
+    EXPECT_EQ(system.metrics().TotalMessages(), 2 * (n - 1));
+  }
+}
+
+TEST(Flooding, AgreesWithIopTraceQuery) {
+  TrackingSystem system(16, FloodConfig());
+  workload::MovementParams params;
+  params.nodes = 16;
+  params.objects_per_node = 30;
+  params.move_fraction = 0.3;
+  params.trace_length = 5;
+  const auto scenario = workload::ExecuteScenario(system, params, 9);
+
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto& object =
+        scenario.object_keys[rng.NextBelow(scenario.object_keys.size())];
+
+    std::vector<std::pair<moods::NodeIndex, double>> via_iop;
+    system.TraceQuery(1, object, [&](TrackerNode::TraceResult result) {
+      ASSERT_TRUE(result.ok);
+      for (const auto& step : result.path) {
+        via_iop.emplace_back(system.NodeIndexOfActor(step.node.actor), step.arrived);
+      }
+    });
+    system.Run();
+
+    std::vector<std::pair<moods::NodeIndex, double>> via_flood;
+    system.FloodTraceQuery(1, object, [&](FloodingQueryEngine::Result result) {
+      ASSERT_TRUE(result.ok);
+      for (const auto& [node, arrived] : result.path) {
+        via_flood.emplace_back(system.NodeIndexOfActor(node.actor), arrived);
+      }
+    });
+    system.Run();
+
+    EXPECT_EQ(via_iop, via_flood) << object.ToShortHex();
+  }
+}
+
+TEST(Flooding, SingleNodeNetworkAnswersLocally) {
+  TrackingSystem system(1, FloodConfig());
+  const auto object = hash::ObjectKey("epc:solo-flood");
+  system.CaptureAt(0, object, 10.0);
+  system.Run();
+  bool done = false;
+  system.FloodTraceQuery(0, object, [&](FloodingQueryEngine::Result result) {
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.messages, 0u);
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

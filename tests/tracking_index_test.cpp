@@ -1,0 +1,113 @@
+#include "tracking/gateway_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peertrack::tracking {
+namespace {
+
+hash::UInt160 Obj(int i) { return hash::ObjectKey("gi-obj-" + std::to_string(i)); }
+
+chord::NodeRef Node(sim::ActorId actor) {
+  return chord::NodeRef{hash::UInt160(actor), actor};
+}
+
+TEST(PrefixBucket, UpsertFindExtract) {
+  PrefixBucket bucket;
+  bucket.Upsert(Obj(1), IndexEntry{Node(3), 10.0});
+  ASSERT_NE(bucket.Find(Obj(1)), nullptr);
+  EXPECT_EQ(bucket.Find(Obj(1))->latest_node.actor, 3u);
+  EXPECT_EQ(bucket.Find(Obj(2)), nullptr);
+
+  bucket.Upsert(Obj(1), IndexEntry{Node(5), 20.0});
+  EXPECT_EQ(bucket.Find(Obj(1))->latest_node.actor, 5u);
+  EXPECT_EQ(bucket.Size(), 1u);
+
+  auto extracted = bucket.Extract(Obj(1));
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_DOUBLE_EQ(extracted->latest_arrived, 20.0);
+  EXPECT_TRUE(bucket.Empty());
+  EXPECT_FALSE(bucket.Extract(Obj(1)).has_value());
+}
+
+TEST(PrefixBucket, ExtractEarliestIsFifoByUpdateTime) {
+  PrefixBucket bucket;
+  for (int i = 0; i < 10; ++i) {
+    bucket.Upsert(Obj(i), IndexEntry{Node(1), 100.0 - i});  // Obj(9) oldest.
+  }
+  auto oldest = bucket.ExtractEarliest(3);
+  ASSERT_EQ(oldest.size(), 3u);
+  for (const auto& [_, entry] : oldest) {
+    EXPECT_LE(entry.latest_arrived, 93.0);
+  }
+  EXPECT_EQ(bucket.Size(), 7u);
+}
+
+TEST(PrefixBucket, ExtractEarliestDeterministicOnTies) {
+  // Equal timestamps: ties broken by object key, independent of hash-map
+  // iteration order.
+  PrefixBucket a;
+  PrefixBucket b;
+  for (int i = 0; i < 20; ++i) a.Upsert(Obj(i), IndexEntry{Node(1), 5.0});
+  for (int i = 19; i >= 0; --i) b.Upsert(Obj(i), IndexEntry{Node(1), 5.0});
+  auto ea = a.ExtractEarliest(7);
+  auto eb = b.ExtractEarliest(7);
+  std::sort(ea.begin(), ea.end(), [](auto& x, auto& y) { return x.first < y.first; });
+  std::sort(eb.begin(), eb.end(), [](auto& x, auto& y) { return x.first < y.first; });
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].first, eb[i].first);
+  }
+}
+
+TEST(PrefixBucket, ExtractEarliestClampsToSize) {
+  PrefixBucket bucket;
+  bucket.Upsert(Obj(1), IndexEntry{Node(1), 1.0});
+  EXPECT_EQ(bucket.ExtractEarliest(100).size(), 1u);
+  EXPECT_TRUE(bucket.Empty());
+  EXPECT_TRUE(bucket.ExtractEarliest(5).empty());
+}
+
+TEST(PrefixBucket, ExtractAll) {
+  PrefixBucket bucket;
+  for (int i = 0; i < 5; ++i) bucket.Upsert(Obj(i), IndexEntry{Node(1), 1.0 * i});
+  auto all = bucket.ExtractAll();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(bucket.Empty());
+}
+
+TEST(PrefixIndexStore, BucketsByPrefix) {
+  PrefixIndexStore store;
+  const auto p0 = hash::Prefix::FromString("010");
+  const auto p1 = hash::Prefix::FromString("0101");
+  store.BucketFor(p0).Upsert(Obj(1), IndexEntry{Node(1), 1.0});
+  store.BucketFor(p1).Upsert(Obj(2), IndexEntry{Node(2), 2.0});
+
+  EXPECT_NE(store.TryBucket(p0), nullptr);
+  EXPECT_EQ(store.TryBucket(hash::Prefix::FromString("111")), nullptr);
+  EXPECT_EQ(store.TotalEntries(), 2u);
+  EXPECT_EQ(store.Prefixes().size(), 2u);
+}
+
+TEST(PrefixIndexStore, DropIfEmptyOnlyDropsEmpty) {
+  PrefixIndexStore store;
+  const auto p = hash::Prefix::FromString("00");
+  store.BucketFor(p).Upsert(Obj(1), IndexEntry{Node(1), 1.0});
+  store.DropIfEmpty(p);
+  EXPECT_NE(store.TryBucket(p), nullptr);
+  store.BucketFor(p).ExtractAll();
+  store.DropIfEmpty(p);
+  EXPECT_EQ(store.TryBucket(p), nullptr);
+}
+
+TEST(PrefixIndexStore, PrefixesSkipsEmptyBuckets) {
+  PrefixIndexStore store;
+  store.BucketFor(hash::Prefix::FromString("1"));  // Created but empty.
+  store.BucketFor(hash::Prefix::FromString("0"))
+      .Upsert(Obj(1), IndexEntry{Node(1), 1.0});
+  const auto prefixes = store.Prefixes();
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].ToString(), "0");
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

@@ -1,0 +1,92 @@
+// Queries and indexing remain correct under non-constant latency models —
+// message reordering across flows must not corrupt IOP chains at the
+// paper's movement time scales.
+
+#include <gtest/gtest.h>
+
+#include "tracking/tracking_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+class LatencyModels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LatencyModels, TracesMatchOracle) {
+  SystemConfig config;
+  config.tracker.mode = IndexingMode::kGroup;
+  config.tracker.window.tmax_ms = 100.0;
+  config.latency = GetParam();
+  config.seed = 0x1a7e ^ std::string_view(GetParam()).size();
+  TrackingSystem system(16, config);
+
+  workload::MovementParams params;
+  params.nodes = 16;
+  params.objects_per_node = 30;
+  params.move_fraction = 0.3;
+  params.trace_length = 5;
+  params.step_ms = 5000.0;  // Dwells far above any latency tail.
+  const auto scenario = workload::ExecuteScenario(system, params, 3);
+
+  util::Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto& object =
+        scenario.object_keys[rng.NextBelow(scenario.object_keys.size())];
+    bool done = false;
+    system.TraceQuery(rng.NextBelow(16), object, [&](TrackerNode::TraceResult result) {
+      ASSERT_TRUE(result.ok) << GetParam();
+      const auto* expected = system.oracle().FullTrace(object);
+      ASSERT_NE(expected, nullptr);
+      EXPECT_EQ(result.path.size(), expected->size()) << GetParam();
+      done = true;
+    });
+    system.Run();
+    ASSERT_TRUE(done);
+  }
+}
+
+TEST_P(LatencyModels, QueryDurationsArePositiveAndBounded) {
+  SystemConfig config;
+  config.tracker.mode = IndexingMode::kIndividual;
+  config.latency = GetParam();
+  TrackingSystem system(24, config);
+  const auto object = hash::ObjectKey("epc:latency-probe");
+  workload::InjectTrajectory(system, object, {1, 5, 9}, 10.0, 5000.0);
+  system.Run();
+
+  bool done = false;
+  system.TraceQuery(20, object, [&](TrackerNode::TraceResult result) {
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.DurationMs(), 0.0);
+    EXPECT_LT(result.DurationMs(), 10'000.0);
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, LatencyModels,
+                         ::testing::Values("constant:5", "uniform:2:10",
+                                           "lognormal:5:0.5"));
+
+TEST(LatencyDeterminism, SameSeedSameResultPerModel) {
+  auto run = [](const char* latency) {
+    SystemConfig config;
+    config.latency = latency;
+    config.seed = 0xd5ULL;
+    TrackingSystem system(12, config);
+    workload::MovementParams params;
+    params.nodes = 12;
+    params.objects_per_node = 40;
+    params.move_fraction = 0.2;
+    params.trace_length = 3;
+    const auto result = workload::ExecuteScenario(system, params, 2);
+    return result.indexing_messages;
+  };
+  for (const char* model : {"uniform:2:10", "lognormal:5:0.5"}) {
+    EXPECT_EQ(run(model), run(model)) << model;
+  }
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

@@ -1,0 +1,120 @@
+// Movement prediction (the paper's future-work extension).
+
+#include <gtest/gtest.h>
+
+#include "tracking/prediction.hpp"
+#include "tracking/tracking_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+TEST(Predictor, LearnsTransitionFrequencies) {
+  MovementPredictor predictor;
+  // 3 of 4 trips 1->2, 1 of 4 trips 1->3.
+  predictor.ObserveSequence({1, 2});
+  predictor.ObserveSequence({1, 2});
+  predictor.ObserveSequence({1, 2});
+  predictor.ObserveSequence({1, 3});
+
+  EXPECT_DOUBLE_EQ(predictor.TransitionProbability(1, 2), 0.75);
+  EXPECT_DOUBLE_EQ(predictor.TransitionProbability(1, 3), 0.25);
+  EXPECT_DOUBLE_EQ(predictor.TransitionProbability(1, 9), 0.0);
+  EXPECT_EQ(predictor.ObservedTransitions(), 4u);
+
+  const auto predictions = predictor.NextFrom(1);
+  ASSERT_EQ(predictions.size(), 2u);
+  EXPECT_EQ(predictions[0].node, 2u);
+  EXPECT_GT(predictions[0].probability, predictions[1].probability);
+}
+
+TEST(Predictor, UnknownSourceGivesNothing) {
+  MovementPredictor predictor;
+  predictor.ObserveSequence({1, 2});
+  EXPECT_TRUE(predictor.NextFrom(42).empty());
+  EXPECT_DOUBLE_EQ(predictor.TransitionProbability(42, 1), 0.0);
+}
+
+TEST(Predictor, TopKLimitsResults) {
+  MovementPredictor predictor;
+  for (sim::ActorId next = 1; next <= 8; ++next) {
+    predictor.ObserveSequence({0, next});
+  }
+  EXPECT_EQ(predictor.NextFrom(0, 3).size(), 3u);
+  EXPECT_EQ(predictor.NextFrom(0, 0).size(), 8u);
+}
+
+TEST(Predictor, SmoothingRedistributesMass) {
+  MovementPredictor plain(0.0);
+  MovementPredictor smoothed(1.0);
+  for (int i = 0; i < 9; ++i) {
+    plain.ObserveSequence({1, 2});
+    smoothed.ObserveSequence({1, 2});
+  }
+  plain.ObserveSequence({1, 3});
+  smoothed.ObserveSequence({1, 3});
+
+  // Smoothing pulls the dominant probability toward uniform.
+  EXPECT_GT(plain.TransitionProbability(1, 2),
+            smoothed.TransitionProbability(1, 2));
+  EXPECT_LT(plain.TransitionProbability(1, 3),
+            smoothed.TransitionProbability(1, 3));
+  // And gives unseen-but-plausible transitions nonzero mass.
+  EXPECT_GT(smoothed.TransitionProbability(1, 99), 0.0);
+}
+
+TEST(Predictor, DwellTimesFromTraceSteps) {
+  MovementPredictor predictor;
+  std::vector<TrackerNode::TraceStep> path(3);
+  path[0].node = chord::NodeRef{hash::UInt160(1), 1};
+  path[0].arrived = 0.0;
+  path[1].node = chord::NodeRef{hash::UInt160(2), 2};
+  path[1].arrived = 100.0;
+  path[2].node = chord::NodeRef{hash::UInt160(3), 3};
+  path[2].arrived = 400.0;
+  predictor.ObserveTrace(path);
+
+  EXPECT_DOUBLE_EQ(predictor.MeanDwellMs(1), 100.0);
+  EXPECT_DOUBLE_EQ(predictor.MeanDwellMs(2), 300.0);
+  EXPECT_DOUBLE_EQ(predictor.MeanDwellMs(3), 0.0);  // Terminal node: unknown.
+  const auto predictions = predictor.NextFrom(1);
+  ASSERT_EQ(predictions.size(), 1u);
+  EXPECT_DOUBLE_EQ(predictions[0].expected_dwell_ms, 100.0);
+}
+
+TEST(Predictor, EndToEndLearnsDominantRoute) {
+  // Objects flow 0 -> 1 -> 2 in a tracked network; the predictor trained on
+  // distributed trace-query results must recover the route.
+  tracking::SystemConfig config;
+  config.tracker.mode = IndexingMode::kIndividual;
+  TrackingSystem system(8, config);
+  std::vector<hash::UInt160> objects;
+  for (int i = 0; i < 20; ++i) {
+    const auto key = hash::ObjectKey("pred-" + std::to_string(i));
+    objects.push_back(key);
+    workload::InjectTrajectory(system, key, {0, 1, 2}, 10.0 + i, 1000.0);
+  }
+  system.Run();
+
+  MovementPredictor predictor;
+  for (const auto& object : objects) {
+    system.TraceQuery(5, object, [&](TrackerNode::TraceResult result) {
+      ASSERT_TRUE(result.ok);
+      predictor.ObserveTrace(result.path);
+    });
+    system.Run();
+  }
+
+  const sim::ActorId node0 = system.Tracker(0).Self().actor;
+  const sim::ActorId node1 = system.Tracker(1).Self().actor;
+  const sim::ActorId node2 = system.Tracker(2).Self().actor;
+  EXPECT_DOUBLE_EQ(predictor.TransitionProbability(node0, node1), 1.0);
+  EXPECT_DOUBLE_EQ(predictor.TransitionProbability(node1, node2), 1.0);
+  const auto predictions = predictor.NextFrom(node0, 1);
+  ASSERT_EQ(predictions.size(), 1u);
+  EXPECT_EQ(predictions[0].node, node1);
+  EXPECT_NEAR(predictions[0].expected_dwell_ms, 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

@@ -1,0 +1,94 @@
+#include "tracking/prefix_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace peertrack::tracking {
+namespace {
+
+TEST(PrefixScheme, KnownValuesAtPaperSizes) {
+  // Scheme 2 = ceil(log2 N + log2 log2 N); the paper's evaluation sizes.
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 64, 2), 9u);    // 6 + 2.58
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 128, 2), 10u);  // 7 + 2.81
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 256, 2), 11u);  // 8 + 3
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 512, 2), 13u);  // 9 + 3.17
+
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogN, 512, 2), 9u);
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kTwoLogN, 512, 2), 18u);
+}
+
+TEST(PrefixScheme, LminFloorApplies) {
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogN, 2, 4), 4u);
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 0, 3), 3u);
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 1, 3), 3u);
+}
+
+TEST(PrefixScheme, MonotoneInNetworkSize) {
+  for (const auto scheme : {PrefixScheme::kLogN, PrefixScheme::kLogNLogLogN,
+                            PrefixScheme::kTwoLogN}) {
+    unsigned previous = 0;
+    for (std::size_t n = 2; n <= 4096; n *= 2) {
+      const unsigned lp = PrefixLengthFor(scheme, n, 2);
+      EXPECT_GE(lp, previous) << SchemeName(scheme) << " n=" << n;
+      previous = lp;
+    }
+  }
+}
+
+TEST(PrefixScheme, SchemeOrderingHolds) {
+  for (std::size_t n = 8; n <= 2048; n *= 2) {
+    const unsigned s1 = PrefixLengthFor(PrefixScheme::kLogN, n, 2);
+    const unsigned s2 = PrefixLengthFor(PrefixScheme::kLogNLogLogN, n, 2);
+    const unsigned s3 = PrefixLengthFor(PrefixScheme::kTwoLogN, n, 2);
+    EXPECT_LE(s1, s2);
+    EXPECT_LE(s2, s3);
+  }
+}
+
+TEST(PrefixScheme, DeltaMatchesClosedForm) {
+  // Hand-check Eq. 4 for small values: n=4, m=8 -> 1-(3/4)^8.
+  EXPECT_NEAR(DeltaForPrefixLength(3, 4), 1.0 - std::pow(0.75, 8), 1e-12);
+  EXPECT_DOUBLE_EQ(DeltaForPrefixLength(5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(DeltaForPrefixLength(5, 0), 0.0);
+}
+
+TEST(PrefixScheme, Scheme2DeltaApproachesOne) {
+  // The paper's claim (Eq. 5): with m = Nn log2 Nn groups, δ -> 1.
+  for (std::size_t n : {64u, 128u, 256u, 512u, 4096u}) {
+    const unsigned lp = PrefixLengthFor(PrefixScheme::kLogNLogLogN, n, 2);
+    EXPECT_GT(DeltaForPrefixLength(lp, n), 0.99) << "n=" << n;
+  }
+}
+
+TEST(PrefixScheme, Scheme1DeltaBoundedAwayFromOne) {
+  // With m = Nn groups, δ -> 1 - 1/e ≈ 0.632: some nodes stay idle, which
+  // is exactly the load imbalance Fig. 8a shows for Scheme 1.
+  for (std::size_t n : {256u, 512u, 4096u}) {
+    const unsigned lp = PrefixLengthFor(PrefixScheme::kLogN, n, 2);
+    const double delta = DeltaForPrefixLength(lp, n);
+    EXPECT_GT(delta, 0.5) << "n=" << n;
+    EXPECT_LT(delta, 0.9) << "n=" << n;
+  }
+}
+
+TEST(PrefixScheme, GroupCountStaysBelowObjectScale) {
+  // 2^Lp = Nn log2 Nn is "relatively small" next to typical object volumes
+  // (paper Section IV-C1).
+  const unsigned lp = PrefixLengthFor(PrefixScheme::kLogNLogLogN, 512, 2);
+  EXPECT_LE(1ULL << lp, 512ULL * 16ULL * 2ULL);
+}
+
+TEST(PrefixScheme, NodesUntilNextIncrementPositive) {
+  const std::size_t extra = NodesUntilNextIncrement(512, 2);
+  EXPECT_GT(extra, 0u);
+  EXPECT_EQ(PrefixLengthFor(PrefixScheme::kLogNLogLogN, 512 + extra, 2),
+            PrefixLengthFor(PrefixScheme::kLogNLogLogN, 512, 2) + 1);
+}
+
+TEST(PrefixScheme, NamesAreDistinct) {
+  EXPECT_NE(SchemeName(PrefixScheme::kLogN), SchemeName(PrefixScheme::kTwoLogN));
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

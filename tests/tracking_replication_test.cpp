@@ -1,0 +1,132 @@
+// Gateway-index replication (extension): queries survive gateway crashes.
+//
+// Without replication, a crashed gateway takes its index entries with it
+// (the paper's Chord substrate does not replicate) and locate queries for
+// the affected keys fail. With replication, every index update is mirrored
+// to the gateway's ring successor — which is precisely the node that owns
+// the key range after the crash — so queries fall through to the replica.
+
+#include <gtest/gtest.h>
+
+#include "tracking/tracking_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+SystemConfig ReplicationConfig(IndexingMode mode, bool replicate) {
+  SystemConfig config;
+  config.tracker.mode = mode;
+  config.tracker.window.tmax_ms = 100.0;
+  config.tracker.replicate_index = replicate;
+  config.tracker.query_timeout_ms = 5000.0;
+  config.seed = 0x4e91ULL;
+  return config;
+}
+
+/// The node currently acting as gateway for `object` under `mode`.
+std::size_t GatewayIndexOf(TrackingSystem& system, const hash::UInt160& object,
+                           IndexingMode mode) {
+  const chord::Key target =
+      mode == IndexingMode::kIndividual
+          ? object
+          : hash::GroupKey(hash::Prefix::OfKey(object, system.CurrentLp()));
+  chord::ChordNode* owner = system.ring().ExpectedOwner(target);
+  return system.NodeIndexOfActor(owner->Self().actor);
+}
+
+class ReplicationModes : public ::testing::TestWithParam<IndexingMode> {};
+
+TEST_P(ReplicationModes, LocateSurvivesGatewayCrashWithReplication) {
+  TrackingSystem system(16, ReplicationConfig(GetParam(), /*replicate=*/true));
+  const auto object = hash::ObjectKey("epc:replicated");
+  workload::InjectTrajectory(system, object, {2, 9}, 10.0, 500.0);
+  system.Run();
+  system.FlushAllWindows();
+
+  const std::size_t gateway = GatewayIndexOf(system, object, GetParam());
+  system.Tracker(gateway).chord().Crash();
+  system.ring().OracleBootstrap();  // Survivors re-converge.
+
+  std::size_t origin = (gateway + 1) % system.NodeCount();
+  bool done = false;
+  system.LocateQuery(origin, object, [&](TrackerNode::LocateResult result) {
+    EXPECT_TRUE(result.ok) << "replica should answer after gateway crash";
+    if (result.ok) {
+      EXPECT_EQ(system.NodeIndexOfActor(result.node.actor), 9u);
+    }
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(system.metrics().Counter("track.replica_hit") +
+                system.metrics().ForType("track.replica").count,
+            0u);
+}
+
+TEST_P(ReplicationModes, LocateFailsAfterCrashWithoutReplication) {
+  TrackingSystem system(16, ReplicationConfig(GetParam(), /*replicate=*/false));
+  const auto object = hash::ObjectKey("epc:unreplicated");
+  workload::InjectTrajectory(system, object, {2, 9}, 10.0, 500.0);
+  system.Run();
+  system.FlushAllWindows();
+
+  const std::size_t gateway = GatewayIndexOf(system, object, GetParam());
+  // Only meaningful when the gateway is a third party (the data nodes keep
+  // their IOP regardless).
+  system.Tracker(gateway).chord().Crash();
+  system.ring().OracleBootstrap();
+
+  std::size_t origin = (gateway + 1) % system.NodeCount();
+  bool done = false;
+  system.LocateQuery(origin, object, [&](TrackerNode::LocateResult result) {
+    EXPECT_FALSE(result.ok) << "index entries died with the gateway";
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ReplicationModes,
+                         ::testing::Values(IndexingMode::kIndividual,
+                                           IndexingMode::kGroup));
+
+TEST(Replication, ReplicaEntriesAccumulateAtSuccessors) {
+  TrackingSystem system(16, ReplicationConfig(IndexingMode::kIndividual, true));
+  workload::MovementParams params;
+  params.nodes = 16;
+  params.objects_per_node = 50;
+  params.move_fraction = 0.2;
+  params.trace_length = 3;
+  workload::ExecuteScenario(system, params, 3);
+
+  std::size_t total_replicas = 0;
+  for (std::size_t i = 0; i < system.NodeCount(); ++i) {
+    total_replicas += system.Tracker(i).ReplicaEntries();
+  }
+  // Every object indexed somewhere must also exist as a replica somewhere.
+  EXPECT_GE(total_replicas, 16u * 50u);
+}
+
+TEST(Replication, CostIsOneExtraMessagePerIndexBatch) {
+  // Replication may add at most one message per index update batch.
+  workload::MovementParams params;
+  params.nodes = 16;
+  params.objects_per_node = 100;
+  params.move_fraction = 0.0;
+  params.trace_length = 1;
+
+  TrackingSystem plain(16, ReplicationConfig(IndexingMode::kGroup, false));
+  const auto base = workload::ExecuteScenario(plain, params, 3);
+
+  TrackingSystem replicated(16, ReplicationConfig(IndexingMode::kGroup, true));
+  const auto with = workload::ExecuteScenario(replicated, params, 3);
+
+  const std::uint64_t groups =
+      replicated.metrics().Counter("track.group_handled");
+  EXPECT_LE(with.indexing_messages, base.indexing_messages + groups);
+  EXPECT_GT(with.indexing_messages, base.indexing_messages);
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

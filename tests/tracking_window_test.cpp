@@ -1,0 +1,86 @@
+#include "tracking/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/keyspace.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+hash::UInt160 Obj(int i) { return hash::ObjectKey("w-obj-" + std::to_string(i)); }
+
+CaptureWindow::Limits Limits(double tmax, std::size_t nmax) {
+  CaptureWindow::Limits limits;
+  limits.tmax_ms = tmax;
+  limits.nmax = nmax;
+  return limits;
+}
+
+TEST(CaptureWindow, FullAtNmax) {
+  CaptureWindow window(Limits(1000.0, 3));
+  EXPECT_FALSE(window.Add(Obj(1), 10.0));
+  EXPECT_FALSE(window.Add(Obj(2), 11.0));
+  EXPECT_TRUE(window.Add(Obj(3), 12.0));  // Nmax reached.
+  EXPECT_EQ(window.Size(), 3u);
+}
+
+TEST(CaptureWindow, DeadlineIsOpenPlusTmax) {
+  CaptureWindow window(Limits(500.0, 100));
+  window.Add(Obj(1), 42.0);
+  EXPECT_DOUBLE_EQ(window.OpenedAt(), 42.0);
+  EXPECT_DOUBLE_EQ(window.Deadline(), 542.0);
+  // Later captures do not extend the deadline.
+  window.Add(Obj(2), 100.0);
+  EXPECT_DOUBLE_EQ(window.Deadline(), 542.0);
+}
+
+TEST(CaptureWindow, CloseGroupsByPrefix) {
+  CaptureWindow window(Limits(1000.0, 100));
+  constexpr unsigned kLp = 3;
+  for (int i = 0; i < 64; ++i) window.Add(Obj(i), 1.0 * i);
+  auto groups = window.CloseAndGroup(kLp);
+  EXPECT_TRUE(window.Empty());
+  EXPECT_EQ(window.WindowsClosed(), 1u);
+  // Every member's hashed id must match its group prefix, and totals add up.
+  std::size_t total = 0;
+  for (const auto& [prefix, members] : groups) {
+    EXPECT_EQ(prefix.length, kLp);
+    for (const auto& [object, _] : members) {
+      EXPECT_TRUE(prefix.Matches(object));
+    }
+    total += members.size();
+  }
+  EXPECT_EQ(total, 64u);
+  // With 64 uniform objects and 8 possible prefixes, expect several groups.
+  EXPECT_GT(groups.size(), 3u);
+  EXPECT_LE(groups.size(), 8u);
+}
+
+TEST(CaptureWindow, ZeroPrefixLengthMakesOneGroup) {
+  CaptureWindow window(Limits(1000.0, 100));
+  for (int i = 0; i < 10; ++i) window.Add(Obj(i), 0.0);
+  auto groups = window.CloseAndGroup(0);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.begin()->second.size(), 10u);
+}
+
+TEST(CaptureWindow, ReopensAfterClose) {
+  CaptureWindow window(Limits(100.0, 10));
+  window.Add(Obj(1), 5.0);
+  window.CloseAndGroup(4);
+  EXPECT_TRUE(window.Empty());
+  window.Add(Obj(2), 500.0);
+  EXPECT_DOUBLE_EQ(window.OpenedAt(), 500.0);
+  EXPECT_DOUBLE_EQ(window.Deadline(), 600.0);
+}
+
+TEST(CaptureWindow, LargePrefixSplitsToSingletons) {
+  CaptureWindow window(Limits(1000.0, 100));
+  for (int i = 0; i < 16; ++i) window.Add(Obj(i), 0.0);
+  auto groups = window.CloseAndGroup(64);
+  // 64-bit prefixes: collisions are cryptographically improbable.
+  EXPECT_EQ(groups.size(), 16u);
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

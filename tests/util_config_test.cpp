@@ -1,0 +1,105 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace peertrack::util {
+namespace {
+
+Config Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::FromArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, KeyEqualsValue) {
+  const auto c = Parse({"--nodes=512", "--alpha=0.5"});
+  EXPECT_EQ(c.GetInt("nodes", 0), 512);
+  EXPECT_DOUBLE_EQ(c.GetDouble("alpha", 0.0), 0.5);
+}
+
+TEST(Config, KeySpaceValue) {
+  const auto c = Parse({"--nodes", "128", "--name", "run1"});
+  EXPECT_EQ(c.GetInt("nodes", 0), 128);
+  EXPECT_EQ(c.GetString("name", ""), "run1");
+}
+
+TEST(Config, BareFlag) {
+  const auto c = Parse({"--verbose", "--quick"});
+  EXPECT_TRUE(c.GetBool("verbose", false));
+  EXPECT_TRUE(c.GetBool("quick", false));
+  EXPECT_FALSE(c.GetBool("missing", false));
+}
+
+TEST(Config, BoolSpellings) {
+  const auto c = Parse({"--a=yes", "--b=0", "--c=off", "--d=1"});
+  EXPECT_TRUE(c.GetBool("a", false));
+  EXPECT_FALSE(c.GetBool("b", true));
+  EXPECT_FALSE(c.GetBool("c", true));
+  EXPECT_TRUE(c.GetBool("d", false));
+}
+
+TEST(Config, FallbacksOnMissingOrMalformed) {
+  const auto c = Parse({"--n=abc"});
+  EXPECT_EQ(c.GetInt("n", 7), 7);
+  EXPECT_EQ(c.GetInt("absent", -1), -1);
+  EXPECT_DOUBLE_EQ(c.GetDouble("absent", 2.5), 2.5);
+}
+
+TEST(Config, Positional) {
+  const auto c = Parse({"input.txt", "--x=1", "more"});
+  ASSERT_EQ(c.Positional().size(), 2u);
+  EXPECT_EQ(c.Positional()[0], "input.txt");
+  EXPECT_EQ(c.Positional()[1], "more");
+}
+
+TEST(Config, IntList) {
+  const auto c = Parse({"--sizes=64,128,256,512"});
+  const auto sizes = c.GetIntList("sizes", {});
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 64);
+  EXPECT_EQ(sizes[3], 512);
+  const auto fallback = c.GetIntList("absent", {1, 2});
+  ASSERT_EQ(fallback.size(), 2u);
+}
+
+TEST(Config, FromString) {
+  const auto c = Config::FromString("nodes=4, latency=5.5\nflag");
+  EXPECT_EQ(c.GetInt("nodes", 0), 4);
+  EXPECT_DOUBLE_EQ(c.GetDouble("latency", 0.0), 5.5);
+  EXPECT_TRUE(c.GetBool("flag", false));
+}
+
+TEST(Config, FromFileAndMerge) {
+  const std::string path = "/tmp/peertrack_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "# scenario file\n"
+        << "nodes=48\n"
+        << "mode=group   # trailing comment\n"
+        << "tmax-ms=250\n";
+  }
+  auto file = Config::FromFile(path);
+  EXPECT_EQ(file.GetInt("nodes", 0), 48);
+  EXPECT_EQ(file.GetString("mode", ""), "group");
+  EXPECT_DOUBLE_EQ(file.GetDouble("tmax-ms", 0.0), 250.0);
+
+  // CLI overlay wins.
+  const auto cli = Parse({"--nodes=96"});
+  file.MergeFrom(cli);
+  EXPECT_EQ(file.GetInt("nodes", 0), 96);
+  EXPECT_EQ(file.GetString("mode", ""), "group");  // Untouched.
+
+  EXPECT_FALSE(Config::FromFile("/nonexistent/peertrack.conf").Has("nodes"));
+}
+
+TEST(Config, LastSetterWins) {
+  auto c = Parse({"--x=1", "--x=2"});
+  EXPECT_EQ(c.GetInt("x", 0), 2);
+  c.Set("x", "9");
+  EXPECT_EQ(c.GetInt("x", 0), 9);
+}
+
+}  // namespace
+}  // namespace peertrack::util

@@ -1,0 +1,67 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peertrack::util {
+namespace {
+
+TEST(Format, PlainPlaceholders) {
+  EXPECT_EQ(Format("hello {}", "world"), "hello world");
+  EXPECT_EQ(Format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(Format("no args"), "no args");
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(Format("{{}}"), "{}");
+  EXPECT_EQ(Format("{{{}}}", 7), "{7}");
+}
+
+TEST(Format, FloatPrecision) {
+  EXPECT_EQ(Format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(Format("{:.0f}", 2.718), "3");
+  EXPECT_EQ(Format("{:.3e}", 12345.678).substr(0, 5), "1.235");
+}
+
+TEST(Format, WidthAndAlignment) {
+  EXPECT_EQ(Format("{:>6}", 42), "    42");
+  EXPECT_EQ(Format("{:<6}|", 42), "42    |");
+  EXPECT_EQ(Format("{:^6}|", "ab"), "  ab  |");
+  // Numbers right-align by default, strings left-align.
+  EXPECT_EQ(Format("{:6}", 42), "    42");
+  EXPECT_EQ(Format("{:6}|", "ab"), "ab    |");
+}
+
+TEST(Format, FillCharacter) {
+  EXPECT_EQ(Format("{:0>4}", 7), "0007");
+  EXPECT_EQ(Format("{:*<5}", "x"), "x****");
+}
+
+TEST(Format, IntegerTypes) {
+  EXPECT_EQ(Format("{}", std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+  EXPECT_EQ(Format("{}", std::int64_t{-42}), "-42");
+  EXPECT_EQ(Format("{:x}", 255), "ff");
+}
+
+TEST(Format, BoolAndChar) {
+  EXPECT_EQ(Format("{} {}", true, false), "true false");
+  EXPECT_EQ(Format("{}", 'z'), "z");
+}
+
+TEST(Format, StringTypes) {
+  const std::string s = "abc";
+  const std::string_view sv = "def";
+  EXPECT_EQ(Format("{} {} {}", s, sv, "ghi"), "abc def ghi");
+}
+
+TEST(Format, TooFewArgumentsRendersMarker) {
+  EXPECT_EQ(Format("{} {}", 1), "1 {?}");
+}
+
+TEST(Format, FormatDoubleHelper) {
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace peertrack::util

@@ -1,0 +1,126 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peertrack::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.Count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.Sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.7 - 3.0;
+    (i % 2 ? left : right).Add(v);
+    whole.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), whole.Count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), whole.Max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 1.0);
+}
+
+TEST(Percentiles, MedianAndTails) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_DOUBLE_EQ(p.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(100), 100.0);
+  EXPECT_NEAR(p.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.Median(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // Clamps to first bucket.
+  h.Add(0.0);
+  h.Add(3.9);
+  h.Add(10.0);   // Clamps to last bucket.
+  h.Add(99.0);
+  EXPECT_EQ(h.Total(), 5u);
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.Count(1), 1u);
+  EXPECT_EQ(h.Count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(1), 4.0);
+  EXPECT_FALSE(h.Render().empty());
+}
+
+TEST(Lorenz, PerfectBalanceIsDiagonal) {
+  std::vector<std::uint64_t> loads(100, 5);
+  const auto curve = LorenzCurve(loads, 10);
+  ASSERT_EQ(curve.size(), 11u);
+  for (const auto& point : curve) {
+    EXPECT_NEAR(point.load_fraction, point.node_fraction, 1e-9);
+  }
+}
+
+TEST(Lorenz, TotalImbalance) {
+  std::vector<std::uint64_t> loads(10, 0);
+  loads[3] = 100;
+  const auto curve = LorenzCurve(loads, 10);
+  // Bottom 90% of nodes carry nothing.
+  EXPECT_NEAR(curve[9].load_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(curve[10].load_fraction, 1.0, 1e-9);
+}
+
+TEST(Gini, KnownValues) {
+  std::vector<std::uint64_t> equal(10, 7);
+  EXPECT_NEAR(GiniCoefficient(equal), 0.0, 1e-9);
+
+  std::vector<std::uint64_t> skewed(10, 0);
+  skewed[9] = 100;
+  // One node holds everything among 10: Gini = (n-1)/n = 0.9.
+  EXPECT_NEAR(GiniCoefficient(skewed), 0.9, 1e-9);
+
+  EXPECT_DOUBLE_EQ(GiniCoefficient(std::vector<std::uint64_t>{}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient(std::vector<std::uint64_t>{5}), 0.0);
+}
+
+TEST(LoadMetrics, PeakToMeanAndNonZero) {
+  std::vector<std::uint64_t> loads{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(PeakToMeanRatio(loads), 2.0);
+  EXPECT_DOUBLE_EQ(NonZeroFraction(loads), 0.5);
+  EXPECT_DOUBLE_EQ(PeakToMeanRatio(std::vector<std::uint64_t>{}), 0.0);
+  EXPECT_DOUBLE_EQ(NonZeroFraction(std::vector<std::uint64_t>{0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace peertrack::util

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peertrack::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("|----"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.RowCount(), 1u);
+  EXPECT_FALSE(t.Render().empty());
+}
+
+TEST(Table, NumericRowPrecision) {
+  Table t({"x"});
+  t.AddNumericRow({3.14159}, 3);
+  EXPECT_NE(t.Render().find("3.142"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"col"});
+  t.AddRow({"short"});
+  t.AddRow({"a-much-longer-cell"});
+  const std::string out = t.Render();
+  // All lines equal length.
+  std::size_t expected = out.find('\n');
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace peertrack::util

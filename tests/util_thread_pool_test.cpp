@@ -1,0 +1,57 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace peertrack::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f1 = pool.Submit([] { return 40 + 2; });
+  auto f2 = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 200; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 200 * 201 / 2);
+}
+
+TEST(ThreadPool, MoveOnlyTaskState) {
+  ThreadPool pool(1);
+  auto data = std::make_unique<int>(99);
+  auto f = pool.Submit([owned = std::move(data)] { return *owned; });
+  EXPECT_EQ(f.get(), 99);
+}
+
+TEST(ThreadPool, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.ThreadCount(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace peertrack::util

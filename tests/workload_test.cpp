@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/arrivals.hpp"
+#include "workload/epc.hpp"
+#include "workload/movement.hpp"
+
+namespace peertrack::workload {
+namespace {
+
+TEST(Epc, UrisAreDeterministicAndUnique) {
+  EpcGenerator gen(42);
+  std::set<std::string> uris;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    uris.insert(gen.Uri(i));
+  }
+  EXPECT_EQ(uris.size(), 1000u);
+  EpcGenerator same(42);
+  EXPECT_EQ(gen.Uri(7), same.Uri(7));
+  EpcGenerator other(43);
+  EXPECT_NE(gen.Uri(7), other.Uri(7));
+}
+
+TEST(Epc, UriShapeIsSgtin) {
+  EpcGenerator gen(1);
+  const std::string uri = gen.Uri(5);
+  EXPECT_EQ(uri.rfind("urn:epc:id:sgtin:", 0), 0u);
+  EXPECT_NE(uri.find(".5"), std::string::npos);  // Serial is the sequence.
+}
+
+TEST(Epc, KeyMatchesHashOfUri) {
+  EpcGenerator gen(9);
+  EXPECT_EQ(gen.Key(3), hash::ObjectKey(gen.Uri(3)));
+}
+
+TEST(Arrivals, SteadyIsEvenlySpaced) {
+  util::Rng rng(1);
+  SteadyArrivals steady(10.0);
+  const auto times = GenerateArrivals(steady, 0.0, 5, rng);
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], 10.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(Arrivals, PoissonMeanGapMatchesRate) {
+  util::Rng rng(2);
+  PoissonArrivals poisson(0.1);  // Mean gap 10 ms.
+  const auto times = GenerateArrivals(poisson, 0.0, 20000, rng);
+  EXPECT_NEAR(times.back() / 20000.0, 10.0, 0.5);
+}
+
+TEST(Arrivals, TimesAreMonotone) {
+  util::Rng rng(3);
+  BurstyArrivals bursty(1.0, 50.0, 500.0);
+  const auto times = GenerateArrivals(bursty, 0.0, 500, rng);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+  }
+}
+
+TEST(Arrivals, BurstyHasGaps) {
+  util::Rng rng(4);
+  BurstyArrivals bursty(1.0, 50.0, 500.0);
+  const auto times = GenerateArrivals(bursty, 0.0, 500, rng);
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    max_gap = std::max(max_gap, times[i] - times[i - 1]);
+  }
+  EXPECT_GT(max_gap, 100.0);  // Inter-burst silence visible.
+}
+
+TEST(Movement, PlanCountsMatchParameters) {
+  MovementParams params;
+  params.nodes = 10;
+  params.objects_per_node = 100;
+  params.move_fraction = 0.1;
+  params.trace_length = 5;
+  util::Rng rng(5);
+  const auto plan = PlanMovements(params, rng);
+
+  EXPECT_EQ(plan.object_count, 1000u);
+  EXPECT_EQ(plan.movers.size(), 100u);  // 10% of 1000.
+  // Captures: 1000 births + 100 movers x 4 extra hops.
+  EXPECT_EQ(plan.TotalCaptures(), 1000u + 400u);
+}
+
+TEST(Movement, CapturesSortedByTime) {
+  MovementParams params;
+  params.nodes = 6;
+  params.objects_per_node = 50;
+  params.move_in_groups = false;
+  params.jitter_ms = 100.0;
+  util::Rng rng(6);
+  const auto plan = PlanMovements(params, rng);
+  for (std::size_t i = 1; i < plan.captures.size(); ++i) {
+    EXPECT_LE(plan.captures[i - 1].at, plan.captures[i].at);
+  }
+}
+
+TEST(Movement, HopsNeverStayOnSameNode) {
+  MovementParams params;
+  params.nodes = 4;
+  params.objects_per_node = 30;
+  params.move_fraction = 0.5;
+  params.trace_length = 8;
+  for (const bool grouped : {true, false}) {
+    params.move_in_groups = grouped;
+    util::Rng rng(7);
+    const auto plan = PlanMovements(params, rng);
+    // Reconstruct each mover's route and check consecutive hops differ.
+    std::map<std::uint64_t, std::vector<std::pair<double, std::uint32_t>>> routes;
+    for (const auto& capture : plan.captures) {
+      routes[capture.object_seq].emplace_back(capture.at, capture.node);
+    }
+    for (const auto seq : plan.movers) {
+      auto& route = routes[seq];
+      std::sort(route.begin(), route.end());
+      for (std::size_t i = 1; i < route.size(); ++i) {
+        EXPECT_NE(route[i].second, route[i - 1].second)
+            << "seq " << seq << " grouped=" << grouped;
+      }
+    }
+  }
+}
+
+TEST(Movement, GroupedMoversShareRouteAndSchedule) {
+  MovementParams params;
+  params.nodes = 8;
+  params.objects_per_node = 40;
+  params.move_fraction = 0.25;
+  params.trace_length = 4;
+  params.move_in_groups = true;
+  util::Rng rng(8);
+  const auto plan = PlanMovements(params, rng);
+
+  // Movers born at the same node must visit identical (node, time) hops.
+  std::map<std::uint64_t, std::vector<std::pair<double, std::uint32_t>>> routes;
+  for (const auto& capture : plan.captures) {
+    routes[capture.object_seq].emplace_back(capture.at, capture.node);
+  }
+  for (std::size_t node = 0; node < params.nodes; ++node) {
+    const std::uint64_t first = node * params.objects_per_node;
+    for (std::uint64_t k = 1; k < 10; ++k) {
+      EXPECT_EQ(routes[first], routes[first + k]) << "node " << node;
+    }
+  }
+}
+
+TEST(Movement, SingleNodeNetworkHasNoMoves) {
+  MovementParams params;
+  params.nodes = 1;
+  params.objects_per_node = 10;
+  params.move_fraction = 0.5;
+  util::Rng rng(9);
+  const auto plan = PlanMovements(params, rng);
+  EXPECT_EQ(plan.TotalCaptures(), 10u);
+  EXPECT_TRUE(plan.movers.empty());
+}
+
+}  // namespace
+}  // namespace peertrack::workload
