@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_triangle.dir/ablation_triangle.cpp.o"
+  "CMakeFiles/ablation_triangle.dir/ablation_triangle.cpp.o.d"
+  "ablation_triangle"
+  "ablation_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

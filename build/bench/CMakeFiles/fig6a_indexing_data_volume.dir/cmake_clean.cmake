@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_indexing_data_volume.dir/fig6a_indexing_data_volume.cpp.o"
+  "CMakeFiles/fig6a_indexing_data_volume.dir/fig6a_indexing_data_volume.cpp.o.d"
+  "fig6a_indexing_data_volume"
+  "fig6a_indexing_data_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_indexing_data_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_indexing_data_volume.
+# This may be replaced when dependencies are built.

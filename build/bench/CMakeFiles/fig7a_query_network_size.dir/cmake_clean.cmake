@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_query_network_size.dir/fig7a_query_network_size.cpp.o"
+  "CMakeFiles/fig7a_query_network_size.dir/fig7a_query_network_size.cpp.o.d"
+  "fig7a_query_network_size"
+  "fig7a_query_network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_query_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

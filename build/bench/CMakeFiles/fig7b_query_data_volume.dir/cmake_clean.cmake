@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_query_data_volume.dir/fig7b_query_data_volume.cpp.o"
+  "CMakeFiles/fig7b_query_data_volume.dir/fig7b_query_data_volume.cpp.o.d"
+  "fig7b_query_data_volume"
+  "fig7b_query_data_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_query_data_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

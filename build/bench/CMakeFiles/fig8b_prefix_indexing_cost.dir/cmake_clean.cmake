@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_prefix_indexing_cost.dir/fig8b_prefix_indexing_cost.cpp.o"
+  "CMakeFiles/fig8b_prefix_indexing_cost.dir/fig8b_prefix_indexing_cost.cpp.o.d"
+  "fig8b_prefix_indexing_cost"
+  "fig8b_prefix_indexing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_prefix_indexing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

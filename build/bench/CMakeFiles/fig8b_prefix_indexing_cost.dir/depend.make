@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_prefix_indexing_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfeit_detection.dir/counterfeit_detection.cpp.o"
+  "CMakeFiles/counterfeit_detection.dir/counterfeit_detection.cpp.o.d"
+  "counterfeit_detection"
+  "counterfeit_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfeit_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_churn.dir/network_churn.cpp.o"
+  "CMakeFiles/network_churn.dir/network_churn.cpp.o.d"
+  "network_churn"
+  "network_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/central/bptree.cpp" "src/CMakeFiles/peertrack.dir/central/bptree.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/central/bptree.cpp.o.d"
+  "/root/repo/src/central/central_tracker.cpp" "src/CMakeFiles/peertrack.dir/central/central_tracker.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/central/central_tracker.cpp.o.d"
+  "/root/repo/src/central/cost_model.cpp" "src/CMakeFiles/peertrack.dir/central/cost_model.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/central/cost_model.cpp.o.d"
+  "/root/repo/src/central/event_store.cpp" "src/CMakeFiles/peertrack.dir/central/event_store.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/central/event_store.cpp.o.d"
+  "/root/repo/src/central/page_store.cpp" "src/CMakeFiles/peertrack.dir/central/page_store.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/central/page_store.cpp.o.d"
+  "/root/repo/src/chord/chord_node.cpp" "src/CMakeFiles/peertrack.dir/chord/chord_node.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/chord/chord_node.cpp.o.d"
+  "/root/repo/src/chord/chord_ring.cpp" "src/CMakeFiles/peertrack.dir/chord/chord_ring.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/chord/chord_ring.cpp.o.d"
+  "/root/repo/src/chord/dht.cpp" "src/CMakeFiles/peertrack.dir/chord/dht.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/chord/dht.cpp.o.d"
+  "/root/repo/src/chord/finger_table.cpp" "src/CMakeFiles/peertrack.dir/chord/finger_table.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/chord/finger_table.cpp.o.d"
+  "/root/repo/src/chord/lookup.cpp" "src/CMakeFiles/peertrack.dir/chord/lookup.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/chord/lookup.cpp.o.d"
+  "/root/repo/src/chord/successor_list.cpp" "src/CMakeFiles/peertrack.dir/chord/successor_list.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/chord/successor_list.cpp.o.d"
+  "/root/repo/src/estimate/gossip.cpp" "src/CMakeFiles/peertrack.dir/estimate/gossip.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/estimate/gossip.cpp.o.d"
+  "/root/repo/src/hash/keyspace.cpp" "src/CMakeFiles/peertrack.dir/hash/keyspace.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/hash/keyspace.cpp.o.d"
+  "/root/repo/src/hash/sha1.cpp" "src/CMakeFiles/peertrack.dir/hash/sha1.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/hash/sha1.cpp.o.d"
+  "/root/repo/src/hash/uint160.cpp" "src/CMakeFiles/peertrack.dir/hash/uint160.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/hash/uint160.cpp.o.d"
+  "/root/repo/src/moods/iop.cpp" "src/CMakeFiles/peertrack.dir/moods/iop.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/moods/iop.cpp.o.d"
+  "/root/repo/src/moods/object.cpp" "src/CMakeFiles/peertrack.dir/moods/object.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/moods/object.cpp.o.d"
+  "/root/repo/src/moods/oracle.cpp" "src/CMakeFiles/peertrack.dir/moods/oracle.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/moods/oracle.cpp.o.d"
+  "/root/repo/src/moods/receptor.cpp" "src/CMakeFiles/peertrack.dir/moods/receptor.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/moods/receptor.cpp.o.d"
+  "/root/repo/src/moods/snapshot.cpp" "src/CMakeFiles/peertrack.dir/moods/snapshot.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/moods/snapshot.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/peertrack.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/CMakeFiles/peertrack.dir/sim/latency_model.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/sim/latency_model.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/peertrack.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/peertrack.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/peertrack.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/tracking/audit.cpp" "src/CMakeFiles/peertrack.dir/tracking/audit.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/audit.cpp.o.d"
+  "/root/repo/src/tracking/data_triangle.cpp" "src/CMakeFiles/peertrack.dir/tracking/data_triangle.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/data_triangle.cpp.o.d"
+  "/root/repo/src/tracking/flooding.cpp" "src/CMakeFiles/peertrack.dir/tracking/flooding.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/flooding.cpp.o.d"
+  "/root/repo/src/tracking/gateway_index.cpp" "src/CMakeFiles/peertrack.dir/tracking/gateway_index.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/gateway_index.cpp.o.d"
+  "/root/repo/src/tracking/grouping.cpp" "src/CMakeFiles/peertrack.dir/tracking/grouping.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/grouping.cpp.o.d"
+  "/root/repo/src/tracking/prediction.cpp" "src/CMakeFiles/peertrack.dir/tracking/prediction.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/prediction.cpp.o.d"
+  "/root/repo/src/tracking/prefix_scheme.cpp" "src/CMakeFiles/peertrack.dir/tracking/prefix_scheme.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/prefix_scheme.cpp.o.d"
+  "/root/repo/src/tracking/query.cpp" "src/CMakeFiles/peertrack.dir/tracking/query.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/query.cpp.o.d"
+  "/root/repo/src/tracking/tracker_node.cpp" "src/CMakeFiles/peertrack.dir/tracking/tracker_node.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/tracker_node.cpp.o.d"
+  "/root/repo/src/tracking/tracking_system.cpp" "src/CMakeFiles/peertrack.dir/tracking/tracking_system.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/tracking/tracking_system.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/peertrack.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/peertrack.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/peertrack.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/peertrack.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/peertrack.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/peertrack.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/peertrack.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/peertrack.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/peertrack.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/epc.cpp" "src/CMakeFiles/peertrack.dir/workload/epc.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/workload/epc.cpp.o.d"
+  "/root/repo/src/workload/movement.cpp" "src/CMakeFiles/peertrack.dir/workload/movement.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/workload/movement.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/CMakeFiles/peertrack.dir/workload/scenario.cpp.o" "gcc" "src/CMakeFiles/peertrack.dir/workload/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_test.dir/central_bptree_test.cpp.o"
+  "CMakeFiles/central_test.dir/central_bptree_test.cpp.o.d"
+  "CMakeFiles/central_test.dir/central_store_test.cpp.o"
+  "CMakeFiles/central_test.dir/central_store_test.cpp.o.d"
+  "central_test"
+  "central_test.pdb"
+  "central_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chord_churn_test.cpp" "tests/CMakeFiles/chord_test.dir/chord_churn_test.cpp.o" "gcc" "tests/CMakeFiles/chord_test.dir/chord_churn_test.cpp.o.d"
+  "/root/repo/tests/chord_dht_test.cpp" "tests/CMakeFiles/chord_test.dir/chord_dht_test.cpp.o" "gcc" "tests/CMakeFiles/chord_test.dir/chord_dht_test.cpp.o.d"
+  "/root/repo/tests/chord_interval_test.cpp" "tests/CMakeFiles/chord_test.dir/chord_interval_test.cpp.o" "gcc" "tests/CMakeFiles/chord_test.dir/chord_interval_test.cpp.o.d"
+  "/root/repo/tests/chord_lookup_test.cpp" "tests/CMakeFiles/chord_test.dir/chord_lookup_test.cpp.o" "gcc" "tests/CMakeFiles/chord_test.dir/chord_lookup_test.cpp.o.d"
+  "/root/repo/tests/chord_ring_test.cpp" "tests/CMakeFiles/chord_test.dir/chord_ring_test.cpp.o" "gcc" "tests/CMakeFiles/chord_test.dir/chord_ring_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/peertrack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

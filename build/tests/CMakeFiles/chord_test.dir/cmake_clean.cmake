@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_test.dir/chord_churn_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord_churn_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord_dht_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord_dht_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord_interval_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord_interval_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord_lookup_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord_lookup_test.cpp.o.d"
+  "CMakeFiles/chord_test.dir/chord_ring_test.cpp.o"
+  "CMakeFiles/chord_test.dir/chord_ring_test.cpp.o.d"
+  "chord_test"
+  "chord_test.pdb"
+  "chord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/moods_inventory_test.cpp" "tests/CMakeFiles/moods_test.dir/moods_inventory_test.cpp.o" "gcc" "tests/CMakeFiles/moods_test.dir/moods_inventory_test.cpp.o.d"
+  "/root/repo/tests/moods_iop_test.cpp" "tests/CMakeFiles/moods_test.dir/moods_iop_test.cpp.o" "gcc" "tests/CMakeFiles/moods_test.dir/moods_iop_test.cpp.o.d"
+  "/root/repo/tests/moods_oracle_test.cpp" "tests/CMakeFiles/moods_test.dir/moods_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/moods_test.dir/moods_oracle_test.cpp.o.d"
+  "/root/repo/tests/moods_receptor_test.cpp" "tests/CMakeFiles/moods_test.dir/moods_receptor_test.cpp.o" "gcc" "tests/CMakeFiles/moods_test.dir/moods_receptor_test.cpp.o.d"
+  "/root/repo/tests/moods_snapshot_test.cpp" "tests/CMakeFiles/moods_test.dir/moods_snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/moods_test.dir/moods_snapshot_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/peertrack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moods_test.dir/moods_inventory_test.cpp.o"
+  "CMakeFiles/moods_test.dir/moods_inventory_test.cpp.o.d"
+  "CMakeFiles/moods_test.dir/moods_iop_test.cpp.o"
+  "CMakeFiles/moods_test.dir/moods_iop_test.cpp.o.d"
+  "CMakeFiles/moods_test.dir/moods_oracle_test.cpp.o"
+  "CMakeFiles/moods_test.dir/moods_oracle_test.cpp.o.d"
+  "CMakeFiles/moods_test.dir/moods_receptor_test.cpp.o"
+  "CMakeFiles/moods_test.dir/moods_receptor_test.cpp.o.d"
+  "CMakeFiles/moods_test.dir/moods_snapshot_test.cpp.o"
+  "CMakeFiles/moods_test.dir/moods_snapshot_test.cpp.o.d"
+  "moods_test"
+  "moods_test.pdb"
+  "moods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tracking_audit_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_audit_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_audit_test.cpp.o.d"
+  "/root/repo/tests/tracking_flooding_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_flooding_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_flooding_test.cpp.o.d"
+  "/root/repo/tests/tracking_fuzz_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_fuzz_test.cpp.o.d"
+  "/root/repo/tests/tracking_index_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_index_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_index_test.cpp.o.d"
+  "/root/repo/tests/tracking_latency_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_latency_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_latency_test.cpp.o.d"
+  "/root/repo/tests/tracking_prediction_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_prediction_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_prediction_test.cpp.o.d"
+  "/root/repo/tests/tracking_prefix_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_prefix_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_prefix_test.cpp.o.d"
+  "/root/repo/tests/tracking_replication_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_replication_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_replication_test.cpp.o.d"
+  "/root/repo/tests/tracking_system_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_system_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_system_test.cpp.o.d"
+  "/root/repo/tests/tracking_triangle_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_triangle_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_triangle_test.cpp.o.d"
+  "/root/repo/tests/tracking_window_test.cpp" "tests/CMakeFiles/tracking_test.dir/tracking_window_test.cpp.o" "gcc" "tests/CMakeFiles/tracking_test.dir/tracking_window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/peertrack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

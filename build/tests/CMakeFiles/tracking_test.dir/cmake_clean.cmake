@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_test.dir/tracking_audit_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_audit_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_flooding_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_flooding_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_fuzz_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_fuzz_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_index_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_index_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_latency_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_latency_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_prediction_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_prediction_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_prefix_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_prefix_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_replication_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_replication_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_system_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_system_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_triangle_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_triangle_test.cpp.o.d"
+  "CMakeFiles/tracking_test.dir/tracking_window_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_window_test.cpp.o.d"
+  "tracking_test"
+  "tracking_test.pdb"
+  "tracking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/chord_test[1]_include.cmake")
+include("/root/repo/build/tests/moods_test[1]_include.cmake")
+include("/root/repo/build/tests/tracking_test[1]_include.cmake")
+include("/root/repo/build/tests/central_test[1]_include.cmake")
+include("/root/repo/build/tests/estimate_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
