@@ -10,9 +10,46 @@ ChordNode::ChordNode(sim::Network& network, std::string address, Options options
       address_(std::move(address)),
       self_{hash::NodeKey(address_), sim::kInvalidActor},
       options_(options),
+      rpc_(network),
+      server_(network),
       successors_(self_.id, options.successor_list_size),
       fingers_(self_.id) {
   self_.actor = network_.Register(*this);
+  rpc_.Bind(self_.actor);
+  server_.Bind(self_.actor);
+  RegisterHandlers();
+}
+
+void ChordNode::RegisterHandlers() {
+  server_.Handle<LookupStepRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<LookupStepRequest> request) {
+        return HandleLookupStep(*request);
+      });
+  server_.Handle<StabilizeRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<StabilizeRequest>) {
+        auto response = std::make_unique<StabilizeResponse>();
+        if (predecessor_) {
+          response->has_predecessor = true;
+          response->predecessor = *predecessor_;
+        }
+        response->successors = successors_.Entries();
+        return response;
+      });
+  server_.Handle<PingRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<PingRequest>) {
+        return std::make_unique<PingResponse>();
+      });
+  dispatcher_.On<NotifyMessage>(
+      [this](sim::ActorId, std::unique_ptr<NotifyMessage> notify) {
+        HandleNotify(*notify);
+      });
+  dispatcher_.On<LeaveNotice>(
+      [this](sim::ActorId, std::unique_ptr<LeaveNotice> notice) {
+        HandleLeave(*notice);
+      });
+  rpc_.RouteResponses<LookupStepResponse>(dispatcher_);
+  rpc_.RouteResponses<StabilizeResponse>(dispatcher_);
+  rpc_.RouteResponses<PingResponse>(dispatcher_);
 }
 
 NodeRef ChordNode::Successor() const noexcept {
@@ -37,7 +74,7 @@ void ChordNode::Join(const NodeRef& bootstrap, std::function<void()> on_joined) 
   // Ask the bootstrap peer to resolve our own id; the result is our
   // successor. Driven by the standard lookup machinery with an explicit
   // first target.
-  const std::uint64_t request_id = next_request_id_++;
+  const std::uint64_t lookup_id = next_lookup_id_++;
   PendingLookup pending;
   pending.key = self_.id;
   pending.callback = [this](const NodeRef& owner, std::size_t) {
@@ -57,8 +94,8 @@ void ChordNode::Join(const NodeRef& bootstrap, std::function<void()> on_joined) 
       done();
     }
   };
-  pending_lookups_.emplace(request_id, std::move(pending));
-  LookupSendStep(request_id, bootstrap);
+  pending_lookups_.emplace(lookup_id, std::move(pending));
+  LookupSendStep(lookup_id, bootstrap);
 }
 
 void ChordNode::Leave() {
@@ -91,9 +128,10 @@ void ChordNode::Leave() {
 void ChordNode::Crash() {
   alive_ = false;
   network_.SetUp(self_.actor, false);
+  rpc_.CancelAll();
   pending_lookups_.clear();
-  stabilize_request_.reset();
-  stabilize_timeout_.Cancel();
+  stabilize_inflight_ = false;
+  ping_inflight_ = false;
 }
 
 void ChordNode::StartMaintenance(double stabilize_every_ms, double fix_fingers_every_ms) {
@@ -135,41 +173,41 @@ void ChordNode::DoStabilize() {
     return;
   }
   DoCheckPredecessor();
-  if (stabilize_request_) return;  // One in flight at a time.
+  if (stabilize_inflight_) return;  // One in flight at a time.
 
-  const std::uint64_t request_id = next_request_id_++;
-  stabilize_request_ = request_id;
+  stabilize_inflight_ = true;
   stabilize_target_ = successor;
-  auto request = std::make_unique<StabilizeRequest>();
-  request->request_id = request_id;
-  network_.Send(self_.actor, successor.actor, std::move(request));
-
-  stabilize_timeout_ = network_.simulator().ScheduleAfter(
-      options_.request_timeout_ms, [this, request_id] {
-        if (!alive_ || !stabilize_request_ || *stabilize_request_ != request_id) return;
-        // Successor did not answer: consider it dead and fail over.
-        stabilize_request_.reset();
-        EvictPeer(stabilize_target_);
-        network_.metrics().Bump("chord.successor_failover");
+  rpc_.Call<StabilizeResponse>(
+      successor.actor, std::make_unique<StabilizeRequest>(), options_.rpc,
+      [this](rpc::Status status, std::unique_ptr<StabilizeResponse> response) {
+        stabilize_inflight_ = false;
+        if (!alive_) return;
+        if (status != rpc::Status::kOk) {
+          // Successor did not answer across all retries: consider it dead
+          // and fail over to the next successor-list entry.
+          EvictPeer(stabilize_target_);
+          network_.metrics().Bump("chord.successor_failover");
+          return;
+        }
+        HandleStabilizeResponse(*response);
       });
 }
 
 void ChordNode::DoCheckPredecessor() {
   // Chord's check_predecessor(): probe the predecessor so a crashed one is
   // eventually cleared and the true predecessor's notify can land.
-  if (!predecessor_ || ping_request_) return;
-  const std::uint64_t request_id = next_request_id_++;
-  ping_request_ = request_id;
+  if (!predecessor_ || ping_inflight_) return;
+  ping_inflight_ = true;
   ping_target_ = *predecessor_;
-  auto ping = std::make_unique<PingRequest>();
-  ping->request_id = request_id;
-  network_.Send(self_.actor, predecessor_->actor, std::move(ping));
-  ping_timeout_ = network_.simulator().ScheduleAfter(
-      options_.request_timeout_ms, [this, request_id] {
-        if (!alive_ || !ping_request_ || *ping_request_ != request_id) return;
-        ping_request_.reset();
-        EvictPeer(ping_target_);
-        network_.metrics().Bump("chord.predecessor_evicted");
+  rpc_.Call<PingResponse>(
+      predecessor_->actor, std::make_unique<PingRequest>(), options_.rpc,
+      [this](rpc::Status status, std::unique_ptr<PingResponse>) {
+        ping_inflight_ = false;
+        if (!alive_) return;
+        if (status != rpc::Status::kOk) {
+          EvictPeer(ping_target_);
+          network_.metrics().Bump("chord.predecessor_evicted");
+        }
       });
 }
 
@@ -249,43 +287,7 @@ ChordNode::RouteStep ChordNode::NextRouteStep(const Key& key) const {
 
 void ChordNode::OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
   if (!alive_) return;
-  if (auto* lookup_req = dynamic_cast<LookupStepRequest*>(message.get())) {
-    HandleLookupStep(from, *lookup_req);
-    return;
-  }
-  if (auto* lookup_resp = dynamic_cast<LookupStepResponse*>(message.get())) {
-    HandleLookupResponse(*lookup_resp);
-    return;
-  }
-  if (auto* stab_req = dynamic_cast<StabilizeRequest*>(message.get())) {
-    HandleStabilizeRequest(from, *stab_req);
-    return;
-  }
-  if (auto* stab_resp = dynamic_cast<StabilizeResponse*>(message.get())) {
-    HandleStabilizeResponse(*stab_resp);
-    return;
-  }
-  if (auto* notify = dynamic_cast<NotifyMessage*>(message.get())) {
-    HandleNotify(*notify);
-    return;
-  }
-  if (auto* leave = dynamic_cast<LeaveNotice*>(message.get())) {
-    HandleLeave(*leave);
-    return;
-  }
-  if (auto* ping = dynamic_cast<PingRequest*>(message.get())) {
-    auto pong = std::make_unique<PingResponse>();
-    pong->request_id = ping->request_id;
-    network_.Send(self_.actor, from, std::move(pong));
-    return;
-  }
-  if (auto* pong = dynamic_cast<PingResponse*>(message.get())) {
-    if (ping_request_ && *ping_request_ == pong->request_id) {
-      ping_request_.reset();
-      ping_timeout_.Cancel();
-    }
-    return;
-  }
+  if (dispatcher_.Dispatch(from, message)) return;
   if (app_ != nullptr) {
     app_->OnAppMessage(from, std::move(message));
     return;
@@ -293,22 +295,7 @@ void ChordNode::OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> messa
   util::LogWarn("{}: unhandled message {}", self_.Describe(), message->TypeName());
 }
 
-void ChordNode::HandleStabilizeRequest(sim::ActorId from, const StabilizeRequest& request) {
-  auto response = std::make_unique<StabilizeResponse>();
-  response->request_id = request.request_id;
-  if (predecessor_) {
-    response->has_predecessor = true;
-    response->predecessor = *predecessor_;
-  }
-  response->successors = successors_.Entries();
-  network_.Send(self_.actor, from, std::move(response));
-}
-
 void ChordNode::HandleStabilizeResponse(const StabilizeResponse& response) {
-  if (!stabilize_request_ || *stabilize_request_ != response.request_id) return;
-  stabilize_request_.reset();
-  stabilize_timeout_.Cancel();
-
   if (response.has_predecessor && !IsConfirmedDead(response.predecessor) &&
       response.predecessor.id.InOpenInterval(self_.id, stabilize_target_.id)) {
     // A node sits between us and our successor: adopt it.

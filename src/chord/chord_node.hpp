@@ -9,6 +9,11 @@
 // tracking layer piggyback "does any intermediate node know this object?"
 // checks on the same routing walk (Section IV-B of the paper).
 //
+// All request/response exchanges (lookup steps, stabilize, ping) go through
+// the rpc layer: correlation ids, per-call deadlines, and retry with
+// backoff live there. A hop is only treated as dead after a call exhausts
+// its retry policy, so transient wire loss no longer evicts live peers.
+//
 // Application payloads are forwarded to an AppHandler so the tracking layer
 // can colocate gateway-index state with the overlay node.
 
@@ -23,6 +28,8 @@
 #include "chord/messages.hpp"
 #include "chord/successor_list.hpp"
 #include "chord/types.hpp"
+#include "rpc/dispatcher.hpp"
+#include "rpc/rpc.hpp"
 #include "sim/network.hpp"
 
 namespace peertrack::chord {
@@ -46,7 +53,9 @@ class ChordNode final : public sim::Actor {
   };
 
   struct Options {
-    double request_timeout_ms = 500.0;  ///< Lookup/stabilize step timeout.
+    /// Deadline/backoff for every chord RPC (lookup step, stabilize,
+    /// ping). A peer is evicted only after a call exhausts this policy.
+    rpc::RetryPolicy rpc;
     std::size_t max_lookup_steps = 256; ///< Routing-loop safety valve.
     std::size_t lookup_retries = 3;     ///< Restarts after a dead hop.
     std::size_t successor_list_size = SuccessorList::kDefaultCapacity;
@@ -89,7 +98,8 @@ class ChordNode final : public sim::Actor {
   /// AppHandler::OnRangeTransfer), informs neighbours, and goes down.
   void Leave();
 
-  /// Crash without any notification (for failure experiments).
+  /// Crash without any notification (for failure experiments). Outstanding
+  /// RPCs are abandoned silently.
   void Crash();
 
   /// Begin periodic stabilize/fix-fingers timers.
@@ -130,26 +140,25 @@ class ChordNode final : public sim::Actor {
   void OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) override;
 
  private:
-  friend class LookupCoordinator;
-
   struct PendingLookup {
     Key key;
     LookupCallback callback;
     std::size_t hops = 0;
     std::size_t steps = 0;
     std::size_t retries = 0;
-    NodeRef current;  ///< Hop currently being queried.
-    sim::EventHandle timeout;
+    NodeRef current;         ///< Hop currently being queried.
+    rpc::CallId call = 0;    ///< In-flight step RPC.
   };
 
-  void HandleLookupStep(sim::ActorId from, const LookupStepRequest& request);
-  void HandleLookupResponse(const LookupStepResponse& response);
-  void LookupSendStep(std::uint64_t request_id, const NodeRef& target);
-  void LookupStepTimedOut(std::uint64_t request_id);
-  void FinishLookup(std::uint64_t request_id, const NodeRef& owner);
-  void RestartLookup(std::uint64_t request_id);
+  void RegisterHandlers();
 
-  void HandleStabilizeRequest(sim::ActorId from, const StabilizeRequest& request);
+  std::unique_ptr<LookupStepResponse> HandleLookupStep(const LookupStepRequest& request);
+  void HandleLookupResponse(std::uint64_t lookup_id, const LookupStepResponse& response);
+  void LookupSendStep(std::uint64_t lookup_id, const NodeRef& target);
+  void LookupStepTimedOut(std::uint64_t lookup_id);
+  void FinishLookup(std::uint64_t lookup_id, const NodeRef& owner);
+  void RestartLookup(std::uint64_t lookup_id);
+
   void HandleStabilizeResponse(const StabilizeResponse& response);
   void HandleNotify(const NotifyMessage& notify);
   void HandleLeave(const LeaveNotice& notice);
@@ -170,13 +179,17 @@ class ChordNode final : public sim::Actor {
   NodeRef self_;
   Options options_;
 
+  rpc::Dispatcher dispatcher_;
+  rpc::RpcClient rpc_;
+  rpc::RpcServer server_;
+
   bool alive_ = false;
   std::optional<NodeRef> predecessor_;
   SuccessorList successors_;
   FingerTable fingers_;
   AppHandler* app_ = nullptr;
 
-  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_lookup_id_ = 1;
   std::unordered_map<std::uint64_t, PendingLookup> pending_lookups_;
 
   // Peers this node has seen depart or time out. Gossiped routing state
@@ -185,15 +198,11 @@ class ChordNode final : public sim::Actor {
   // are never reused in a simulation, so the set is monotone-safe.
   std::unordered_set<sim::ActorId> confirmed_dead_;
 
-  // Stabilize in flight: request id + timeout + who was asked.
-  std::optional<std::uint64_t> stabilize_request_;
+  // Stabilize / check_predecessor in flight (one at a time each).
+  bool stabilize_inflight_ = false;
   NodeRef stabilize_target_;
-  sim::EventHandle stabilize_timeout_;
-
-  // check_predecessor() in flight.
-  std::optional<std::uint64_t> ping_request_;
+  bool ping_inflight_ = false;
   NodeRef ping_target_;
-  sim::EventHandle ping_timeout_;
 
   double stabilize_every_ms_ = 0.0;
   double fix_fingers_every_ms_ = 0.0;

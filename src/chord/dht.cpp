@@ -4,36 +4,36 @@ namespace peertrack::chord {
 
 namespace {
 
-struct DhtPutRequest final : sim::Message {
-  std::uint64_t request_id = 0;
+struct DhtPutRequest final : rpc::RequestBase<DhtPutRequest> {
   Key key;
   std::string value;
   std::string_view TypeName() const noexcept override { return "dht.put_req"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 20 + value.size(); }
+  std::size_t ApproxBytes() const noexcept override {
+    return rpc::kCallIdBytes + 20 + value.size();
+  }
 };
 
-struct DhtPutAck final : sim::Message {
-  std::uint64_t request_id = 0;
+struct DhtPutAck final : rpc::ResponseBase<DhtPutAck> {
   std::string_view TypeName() const noexcept override { return "dht.put_ack"; }
-  std::size_t ApproxBytes() const noexcept override { return 8; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes; }
 };
 
-struct DhtGetRequest final : sim::Message {
-  std::uint64_t request_id = 0;
+struct DhtGetRequest final : rpc::RequestBase<DhtGetRequest> {
   Key key;
   std::string_view TypeName() const noexcept override { return "dht.get_req"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 20; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes + 20; }
 };
 
-struct DhtGetResponse final : sim::Message {
-  std::uint64_t request_id = 0;
+struct DhtGetResponse final : rpc::ResponseBase<DhtGetResponse> {
   bool found = false;
   std::string value;
   std::string_view TypeName() const noexcept override { return "dht.get_resp"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 1 + value.size(); }
+  std::size_t ApproxBytes() const noexcept override {
+    return rpc::kCallIdBytes + 1 + value.size();
+  }
 };
 
-struct DhtMigrate final : sim::Message {
+struct DhtMigrate final : sim::MessageBase<DhtMigrate> {
   std::vector<std::pair<Key, std::string>> entries;
   std::string_view TypeName() const noexcept override { return "dht.migrate"; }
   std::size_t ApproxBytes() const noexcept override {
@@ -45,45 +45,79 @@ struct DhtMigrate final : sim::Message {
 
 }  // namespace
 
-DhtNode::DhtNode(ChordNode& chord) : chord_(chord) { chord_.SetAppHandler(this); }
+DhtNode::DhtNode(ChordNode& chord)
+    : chord_(chord), rpc_(chord.network()), server_(chord.network()) {
+  chord_.SetAppHandler(this);
+  rpc_.Bind(chord_.Self().actor);
+  server_.Bind(chord_.Self().actor);
+  RegisterHandlers();
+}
+
+void DhtNode::RegisterHandlers() {
+  server_.Handle<DhtPutRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<DhtPutRequest> request) {
+        store_[request->key] = std::move(request->value);
+        return std::make_unique<DhtPutAck>();
+      });
+  server_.Handle<DhtGetRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<DhtGetRequest> request) {
+        auto response = std::make_unique<DhtGetResponse>();
+        if (const auto it = store_.find(request->key); it != store_.end()) {
+          response->found = true;
+          response->value = it->second;
+        }
+        return response;
+      });
+  dispatcher_.On<DhtMigrate>(
+      [this](sim::ActorId, std::unique_ptr<DhtMigrate> migrate) {
+        for (auto& [key, value] : migrate->entries) {
+          store_[key] = std::move(value);
+        }
+      });
+  rpc_.RouteResponses<DhtPutAck>(dispatcher_);
+  rpc_.RouteResponses<DhtGetResponse>(dispatcher_);
+}
 
 void DhtNode::Put(const Key& key, std::string value, PutCallback callback) {
-  const std::uint64_t request_id = next_request_id_++;
-  pending_puts_.emplace(request_id,
-                        PendingPut{key, std::move(value), std::move(callback)});
-  chord_.Lookup(key, [this, request_id](const NodeRef& owner, std::size_t) {
-    const auto it = pending_puts_.find(request_id);
-    if (it == pending_puts_.end()) return;
+  chord_.Lookup(key, [this, key, value = std::move(value),
+                      callback = std::move(callback)](const NodeRef& owner,
+                                                      std::size_t) mutable {
     if (!owner.Valid()) {
-      PendingPut pending = std::move(it->second);
-      pending_puts_.erase(it);
-      if (pending.callback) pending.callback(false);
+      if (callback) callback(false);
       return;
     }
     auto request = std::make_unique<DhtPutRequest>();
-    request->request_id = request_id;
-    request->key = it->second.key;
-    request->value = it->second.value;
-    chord_.network().Send(chord_.Self().actor, owner.actor, std::move(request));
+    request->key = key;
+    request->value = std::move(value);
+    rpc_.Call<DhtPutAck>(
+        owner.actor, std::move(request), policy_,
+        [callback = std::move(callback)](rpc::Status status,
+                                         std::unique_ptr<DhtPutAck>) mutable {
+          if (callback) callback(status == rpc::Status::kOk);
+        });
   });
 }
 
 void DhtNode::Get(const Key& key, GetCallback callback) {
-  const std::uint64_t request_id = next_request_id_++;
-  pending_gets_.emplace(request_id, PendingGet{key, std::move(callback)});
-  chord_.Lookup(key, [this, request_id](const NodeRef& owner, std::size_t) {
-    const auto it = pending_gets_.find(request_id);
-    if (it == pending_gets_.end()) return;
+  chord_.Lookup(key, [this, key, callback = std::move(callback)](
+                         const NodeRef& owner, std::size_t) mutable {
     if (!owner.Valid()) {
-      PendingGet pending = std::move(it->second);
-      pending_gets_.erase(it);
-      if (pending.callback) pending.callback(false, "");
+      if (callback) callback(false, "");
       return;
     }
     auto request = std::make_unique<DhtGetRequest>();
-    request->request_id = request_id;
-    request->key = it->second.key;
-    chord_.network().Send(chord_.Self().actor, owner.actor, std::move(request));
+    request->key = key;
+    rpc_.Call<DhtGetResponse>(
+        owner.actor, std::move(request), policy_,
+        [callback = std::move(callback)](
+            rpc::Status status, std::unique_ptr<DhtGetResponse> response) mutable {
+          if (!callback) return;
+          if (status != rpc::Status::kOk) {
+            callback(false, "");
+            return;
+          }
+          callback(response->found, response->value);
+        });
   });
 }
 
@@ -94,45 +128,7 @@ std::optional<std::string> DhtNode::LocalValue(const Key& key) const {
 }
 
 void DhtNode::OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
-  if (auto* put = dynamic_cast<DhtPutRequest*>(message.get())) {
-    store_[put->key] = std::move(put->value);
-    auto ack = std::make_unique<DhtPutAck>();
-    ack->request_id = put->request_id;
-    chord_.network().Send(chord_.Self().actor, from, std::move(ack));
-    return;
-  }
-  if (auto* ack = dynamic_cast<DhtPutAck*>(message.get())) {
-    const auto it = pending_puts_.find(ack->request_id);
-    if (it == pending_puts_.end()) return;
-    PendingPut pending = std::move(it->second);
-    pending_puts_.erase(it);
-    if (pending.callback) pending.callback(true);
-    return;
-  }
-  if (auto* get = dynamic_cast<DhtGetRequest*>(message.get())) {
-    auto response = std::make_unique<DhtGetResponse>();
-    response->request_id = get->request_id;
-    if (const auto it = store_.find(get->key); it != store_.end()) {
-      response->found = true;
-      response->value = it->second;
-    }
-    chord_.network().Send(chord_.Self().actor, from, std::move(response));
-    return;
-  }
-  if (auto* response = dynamic_cast<DhtGetResponse*>(message.get())) {
-    const auto it = pending_gets_.find(response->request_id);
-    if (it == pending_gets_.end()) return;
-    PendingGet pending = std::move(it->second);
-    pending_gets_.erase(it);
-    if (pending.callback) pending.callback(response->found, response->value);
-    return;
-  }
-  if (auto* migrate = dynamic_cast<DhtMigrate*>(message.get())) {
-    for (auto& [key, value] : migrate->entries) {
-      store_[key] = std::move(value);
-    }
-    return;
-  }
+  dispatcher_.Dispatch(from, message);
 }
 
 void DhtNode::OnRangeTransfer(const Key& lo, const Key& hi, const NodeRef& new_owner) {

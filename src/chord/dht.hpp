@@ -6,6 +6,11 @@
 // placement and churn migration) for users who want the overlay substrate
 // without the traceability stack — and it doubles as an end-to-end test of
 // ChordNode's routing and range-transfer hooks.
+//
+// Put/Get are RPCs: once the owner is resolved, the store/fetch exchange
+// retries through rpc::RpcClient, and the user callback always fires —
+// with failure after the retry policy is exhausted — instead of hanging
+// when the owner is down or the wire is lossy.
 
 #include <functional>
 #include <optional>
@@ -13,6 +18,8 @@
 #include <unordered_map>
 
 #include "chord/chord_node.hpp"
+#include "rpc/dispatcher.hpp"
+#include "rpc/rpc.hpp"
 
 namespace peertrack::chord {
 
@@ -21,6 +28,9 @@ class DhtNode final : public ChordNode::AppHandler {
   explicit DhtNode(ChordNode& chord);
 
   ChordNode& chord() noexcept { return chord_; }
+
+  /// Deadline/backoff for the store/fetch exchange after owner resolution.
+  void SetRetryPolicy(const rpc::RetryPolicy& policy) { policy_ = policy; }
 
   using PutCallback = std::function<void(bool ok)>;
   using GetCallback = std::function<void(bool found, const std::string& value)>;
@@ -41,21 +51,14 @@ class DhtNode final : public ChordNode::AppHandler {
   void OnRangeTransfer(const Key& lo, const Key& hi, const NodeRef& new_owner) override;
 
  private:
-  struct PendingPut {
-    Key key;
-    std::string value;
-    PutCallback callback;
-  };
-  struct PendingGet {
-    Key key;
-    GetCallback callback;
-  };
+  void RegisterHandlers();
 
   ChordNode& chord_;
+  rpc::Dispatcher dispatcher_;
+  rpc::RpcClient rpc_;
+  rpc::RpcServer server_;
+  rpc::RetryPolicy policy_;
   std::unordered_map<hash::UInt160, std::string, hash::UInt160Hasher> store_;
-  std::uint64_t next_request_id_ = 1;
-  std::unordered_map<std::uint64_t, PendingPut> pending_puts_;
-  std::unordered_map<std::uint64_t, PendingGet> pending_gets_;
 };
 
 }  // namespace peertrack::chord

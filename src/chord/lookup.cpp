@@ -3,9 +3,10 @@
 // The initiator drives the walk: it asks the closest preceding node it
 // knows, receives either the final owner or a better next hop, and repeats.
 // `hops` counts remote step requests, which is what the paper's
-// O(log2 Nn)-hops routing-cost analysis refers to. A hop that fails to
-// answer within the timeout is evicted from local routing state and the
-// lookup restarts (bounded retries).
+// O(log2 Nn)-hops routing-cost analysis refers to. Each step is an RPC:
+// transient loss is absorbed by the rpc layer's retries, and only a hop
+// that exhausts its retry policy is treated as dead — evicted from local
+// routing state — before the lookup restarts (bounded restarts).
 
 #include "chord/chord_node.hpp"
 #include "util/logging.hpp"
@@ -23,23 +24,23 @@ void ChordNode::Lookup(const Key& key, LookupCallback callback) {
     callback(first.node, 0);
     return;
   }
-  const std::uint64_t request_id = next_request_id_++;
+  const std::uint64_t lookup_id = next_lookup_id_++;
   PendingLookup pending;
   pending.key = key;
   pending.callback = std::move(callback);
-  pending_lookups_.emplace(request_id, std::move(pending));
-  LookupSendStep(request_id, first.node);
+  pending_lookups_.emplace(lookup_id, std::move(pending));
+  LookupSendStep(lookup_id, first.node);
 }
 
-void ChordNode::LookupSendStep(std::uint64_t request_id, const NodeRef& target) {
-  auto it = pending_lookups_.find(request_id);
+void ChordNode::LookupSendStep(std::uint64_t lookup_id, const NodeRef& target) {
+  auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;
   PendingLookup& pending = it->second;
 
   if (pending.steps >= options_.max_lookup_steps) {
     util::LogWarn("{}: lookup for {} exceeded step limit", self_.Describe(),
                   pending.key.ToShortHex());
-    FinishLookup(request_id, NodeRef{});
+    FinishLookup(lookup_id, NodeRef{});
     return;
   }
   ++pending.steps;
@@ -47,20 +48,23 @@ void ChordNode::LookupSendStep(std::uint64_t request_id, const NodeRef& target) 
   pending.current = target;
 
   auto request = std::make_unique<LookupStepRequest>();
-  request->request_id = request_id;
   request->key = pending.key;
-  network_.Send(self_.actor, target.actor, std::move(request));
-
-  pending.timeout.Cancel();
-  pending.timeout = network_.simulator().ScheduleAfter(
-      options_.request_timeout_ms,
-      [this, request_id] { LookupStepTimedOut(request_id); });
+  pending.call = rpc_.Call<LookupStepResponse>(
+      target.actor, std::move(request), options_.rpc,
+      [this, lookup_id](rpc::Status status,
+                        std::unique_ptr<LookupStepResponse> response) {
+        if (status == rpc::Status::kOk) {
+          HandleLookupResponse(lookup_id, *response);
+        } else {
+          LookupStepTimedOut(lookup_id);
+        }
+      });
 }
 
-void ChordNode::HandleLookupStep(sim::ActorId from, const LookupStepRequest& request) {
+std::unique_ptr<LookupStepResponse> ChordNode::HandleLookupStep(
+    const LookupStepRequest& request) {
   const RouteStep step = NextRouteStep(request.key);
   auto response = std::make_unique<LookupStepResponse>();
-  response->request_id = request.request_id;
   if (step.done) {
     response->done = true;
     response->node = step.node;
@@ -73,66 +77,66 @@ void ChordNode::HandleLookupStep(sim::ActorId from, const LookupStepRequest& req
     response->done = false;
     response->node = step.node;
   }
-  network_.Send(self_.actor, from, std::move(response));
+  return response;
 }
 
-void ChordNode::HandleLookupResponse(const LookupStepResponse& response) {
-  auto it = pending_lookups_.find(response.request_id);
-  if (it == pending_lookups_.end()) return;  // Late reply after timeout.
+void ChordNode::HandleLookupResponse(std::uint64_t lookup_id,
+                                     const LookupStepResponse& response) {
+  auto it = pending_lookups_.find(lookup_id);
+  if (it == pending_lookups_.end()) return;
   PendingLookup& pending = it->second;
-  pending.timeout.Cancel();
 
   if (response.done) {
-    FinishLookup(response.request_id, response.node);
+    FinishLookup(lookup_id, response.node);
     return;
   }
   if (response.node.actor == pending.current.actor ||
       response.node.actor == self_.actor) {
     // The remote peer could not make progress either; accept its view of
     // the key's owner by asking it directly as a final step.
-    FinishLookup(response.request_id, response.node);
+    FinishLookup(lookup_id, response.node);
     return;
   }
-  LookupSendStep(response.request_id, response.node);
+  LookupSendStep(lookup_id, response.node);
 }
 
-void ChordNode::LookupStepTimedOut(std::uint64_t request_id) {
-  auto it = pending_lookups_.find(request_id);
+void ChordNode::LookupStepTimedOut(std::uint64_t lookup_id) {
+  auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;
   PendingLookup& pending = it->second;
 
-  // The queried hop is unresponsive: purge it from local routing state so
-  // the restart routes around it.
+  // The queried hop exhausted its RPC retries: purge it from local routing
+  // state so the restart routes around it.
   EvictPeer(pending.current);
   network_.metrics().Bump("chord.lookup_hop_timeout");
 
   if (pending.retries >= options_.lookup_retries) {
-    FinishLookup(request_id, NodeRef{});
+    FinishLookup(lookup_id, NodeRef{});
     return;
   }
   ++pending.retries;
-  RestartLookup(request_id);
+  RestartLookup(lookup_id);
 }
 
-void ChordNode::RestartLookup(std::uint64_t request_id) {
-  auto it = pending_lookups_.find(request_id);
+void ChordNode::RestartLookup(std::uint64_t lookup_id) {
+  auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;
   PendingLookup& pending = it->second;
 
   const RouteStep first = NextRouteStep(pending.key);
   if (first.done) {
-    FinishLookup(request_id, first.node);
+    FinishLookup(lookup_id, first.node);
     return;
   }
-  LookupSendStep(request_id, first.node);
+  LookupSendStep(lookup_id, first.node);
 }
 
-void ChordNode::FinishLookup(std::uint64_t request_id, const NodeRef& owner) {
-  auto it = pending_lookups_.find(request_id);
+void ChordNode::FinishLookup(std::uint64_t lookup_id, const NodeRef& owner) {
+  auto it = pending_lookups_.find(lookup_id);
   if (it == pending_lookups_.end()) return;
   PendingLookup pending = std::move(it->second);
   pending_lookups_.erase(it);
-  pending.timeout.Cancel();
+  rpc_.Cancel(pending.call);
   if (owner.Valid()) network_.metrics().RecordLookupHops(pending.hops);
   pending.callback(owner, pending.hops);
 }

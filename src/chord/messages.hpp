@@ -2,13 +2,19 @@
 // Chord wire messages.
 //
 // Sizes are approximations of a compact binary encoding: 20 bytes per ring
-// id, 4 per actor address, 8 per integer field. Only relative volumes
+// id, 4 per actor address, 8 per integer field (the rpc correlation id is
+// one such field, counted via rpc::kCallIdBytes). Only relative volumes
 // matter for the experiments.
+//
+// Request/response pairs derive from the rpc bases and are exchanged
+// through RpcClient/RpcServer (correlation, deadline, retry); one-way
+// notifications derive from sim::MessageBase and stay fire-and-forget.
 
 #include <cstdint>
 #include <vector>
 
 #include "chord/types.hpp"
+#include "rpc/rpc.hpp"
 #include "sim/network.hpp"
 
 namespace peertrack::chord {
@@ -16,47 +22,44 @@ namespace peertrack::chord {
 constexpr std::size_t kNodeRefBytes = 24;  // 20-byte id + 4-byte address.
 
 /// One step of an iterative lookup: "route `key`".
-struct LookupStepRequest final : sim::Message {
-  std::uint64_t request_id = 0;
+struct LookupStepRequest final : rpc::RequestBase<LookupStepRequest> {
   Key key;
 
   std::string_view TypeName() const noexcept override { return "chord.lookup_req"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 20; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes + 20; }
 };
 
 /// Reply to a lookup step: either the final successor of the key (done) or
 /// the next node to ask.
-struct LookupStepResponse final : sim::Message {
-  std::uint64_t request_id = 0;
+struct LookupStepResponse final : rpc::ResponseBase<LookupStepResponse> {
   bool done = false;
   NodeRef node;  ///< Successor when done, otherwise next hop.
 
   std::string_view TypeName() const noexcept override { return "chord.lookup_resp"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 1 + kNodeRefBytes; }
+  std::size_t ApproxBytes() const noexcept override {
+    return rpc::kCallIdBytes + 1 + kNodeRefBytes;
+  }
 };
 
 /// stabilize(): ask a successor for its predecessor and successor list.
-struct StabilizeRequest final : sim::Message {
-  std::uint64_t request_id = 0;
-
+struct StabilizeRequest final : rpc::RequestBase<StabilizeRequest> {
   std::string_view TypeName() const noexcept override { return "chord.stabilize_req"; }
-  std::size_t ApproxBytes() const noexcept override { return 8; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes; }
 };
 
-struct StabilizeResponse final : sim::Message {
-  std::uint64_t request_id = 0;
+struct StabilizeResponse final : rpc::ResponseBase<StabilizeResponse> {
   bool has_predecessor = false;
   NodeRef predecessor;
   std::vector<NodeRef> successors;
 
   std::string_view TypeName() const noexcept override { return "chord.stabilize_resp"; }
   std::size_t ApproxBytes() const noexcept override {
-    return 8 + 1 + kNodeRefBytes + successors.size() * kNodeRefBytes;
+    return rpc::kCallIdBytes + 1 + kNodeRefBytes + successors.size() * kNodeRefBytes;
   }
 };
 
 /// notify(n'): "I believe I am your predecessor".
-struct NotifyMessage final : sim::Message {
+struct NotifyMessage final : sim::MessageBase<NotifyMessage> {
   NodeRef candidate;
 
   std::string_view TypeName() const noexcept override { return "chord.notify"; }
@@ -65,7 +68,7 @@ struct NotifyMessage final : sim::Message {
 
 /// Graceful departure: tells the successor to adopt `new_predecessor` and
 /// the predecessor to adopt `new_successor`.
-struct LeaveNotice final : sim::Message {
+struct LeaveNotice final : sim::MessageBase<LeaveNotice> {
   NodeRef departing;
   bool to_successor = false;  ///< True when sent to the successor side.
   NodeRef replacement;        ///< New predecessor (to successor) or successor.
@@ -75,16 +78,14 @@ struct LeaveNotice final : sim::Message {
 };
 
 /// Liveness probe used by failure detection during stabilization.
-struct PingRequest final : sim::Message {
-  std::uint64_t request_id = 0;
+struct PingRequest final : rpc::RequestBase<PingRequest> {
   std::string_view TypeName() const noexcept override { return "chord.ping_req"; }
-  std::size_t ApproxBytes() const noexcept override { return 8; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes; }
 };
 
-struct PingResponse final : sim::Message {
-  std::uint64_t request_id = 0;
+struct PingResponse final : rpc::ResponseBase<PingResponse> {
   std::string_view TypeName() const noexcept override { return "chord.ping_resp"; }
-  std::size_t ApproxBytes() const noexcept override { return 8; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes; }
 };
 
 }  // namespace peertrack::chord

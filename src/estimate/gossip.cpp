@@ -6,13 +6,13 @@ namespace peertrack::estimate {
 
 namespace {
 
-struct PushPullRequest final : sim::Message {
+struct PushPullRequest final : rpc::RequestBase<PushPullRequest> {
   double value = 0.0;
   std::string_view TypeName() const noexcept override { return "gossip.push"; }
   std::size_t ApproxBytes() const noexcept override { return 8; }
 };
 
-struct PushPullResponse final : sim::Message {
+struct PushPullResponse final : rpc::ResponseBase<PushPullResponse> {
   double value = 0.0;
   std::string_view TypeName() const noexcept override { return "gossip.pull"; }
   std::size_t ApproxBytes() const noexcept override { return 8; }
@@ -21,7 +21,25 @@ struct PushPullResponse final : sim::Message {
 }  // namespace
 
 GossipAgent::GossipAgent(sim::Network& network, util::Rng& rng)
-    : network_(network), rng_(rng), self_(network.Register(*this)) {}
+    : network_(network),
+      rng_(rng),
+      self_(network.Register(*this)),
+      rpc_(network),
+      server_(network) {
+  rpc_.Bind(self_);
+  server_.Bind(self_);
+  server_.Handle<PushPullRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<PushPullRequest> push) {
+        // Responder side of push-pull: average and return the result so
+        // both ends hold the same value (mass conservation).
+        auto response = std::make_unique<PushPullResponse>();
+        const double average = (value_ + push->value) / 2.0;
+        response->value = average;
+        value_ = average;
+        return response;
+      });
+  rpc_.RouteResponses<PushPullResponse>(dispatcher_);
+}
 
 void GossipAgent::Start(double round_ms, std::size_t rounds) {
   round_ms_ = round_ms;
@@ -41,7 +59,13 @@ void GossipAgent::DoRound() {
         peers_[static_cast<std::size_t>(rng_.NextBelow(peers_.size()))];
     auto request = std::make_unique<PushPullRequest>();
     request->value = value_;
-    network_.Send(self_, peer, std::move(request));
+    rpc_.Call<PushPullResponse>(
+        peer, std::move(request), policy_,
+        [this](rpc::Status status, std::unique_ptr<PushPullResponse> pull) {
+          // The responder already averaged; adopt its result to conserve
+          // mass. An exhausted exchange (down peer) leaves our value as-is.
+          if (status == rpc::Status::kOk) value_ = pull->value;
+        });
   }
   if (rounds_left_ > 0) {
     network_.simulator().ScheduleAfter(round_ms_, [this] { DoRound(); });
@@ -49,19 +73,7 @@ void GossipAgent::DoRound() {
 }
 
 void GossipAgent::OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
-  if (auto* push = dynamic_cast<PushPullRequest*>(message.get())) {
-    auto response = std::make_unique<PushPullResponse>();
-    const double average = (value_ + push->value) / 2.0;
-    response->value = average;
-    value_ = average;
-    network_.Send(self_, from, std::move(response));
-    return;
-  }
-  if (auto* pull = dynamic_cast<PushPullResponse*>(message.get())) {
-    // The responder already averaged; adopt its result to conserve mass.
-    value_ = pull->value;
-    return;
-  }
+  dispatcher_.Dispatch(from, message);
 }
 
 double GossipAgent::EstimatedSize() const noexcept {

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "rpc/dispatcher.hpp"
+#include "rpc/rpc.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
 
@@ -35,6 +37,10 @@ class GossipAgent final : public sim::Actor {
   /// peer, `rounds` times in total.
   void Start(double round_ms, std::size_t rounds);
 
+  /// Deadline/backoff for each push-pull exchange; an exchange whose peer
+  /// never answers leaves the local value unchanged.
+  void SetRetryPolicy(const rpc::RetryPolicy& policy) { policy_ = policy; }
+
   /// Current size estimate (1 / value); clamped to >= 1.
   double EstimatedSize() const noexcept;
 
@@ -46,6 +52,10 @@ class GossipAgent final : public sim::Actor {
   sim::Network& network_;
   util::Rng& rng_;
   sim::ActorId self_;
+  rpc::Dispatcher dispatcher_;
+  rpc::RpcClient rpc_;
+  rpc::RpcServer server_;
+  rpc::RetryPolicy policy_;
   double value_ = 0.0;
   std::vector<sim::ActorId> peers_;
   std::size_t rounds_left_ = 0;

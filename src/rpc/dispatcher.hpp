@@ -1,0 +1,62 @@
+#pragma once
+// Type-indexed message dispatch.
+//
+// One Dispatcher per actor: protocol code registers a typed handler per
+// concrete message class (On<M>), and the actor's OnMessage body shrinks to
+// a single Dispatch() call. Lookup is an O(1) vector index on the message's
+// dense MsgTypeId — this replaces the dynamic_cast if-chains that used to
+// walk every message type on every delivery.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/unique_function.hpp"
+
+namespace peertrack::rpc {
+
+class Dispatcher {
+ public:
+  using Handler =
+      util::UniqueFunction<void(sim::ActorId, std::unique_ptr<sim::Message>)>;
+
+  /// Register `handler` for message class M. The handler receives the
+  /// sender and the downcast message. Re-registering M replaces the
+  /// previous handler (used when an app layer overrides a default).
+  template <typename M, typename F>
+  void On(F handler) {
+    static_assert(std::is_base_of_v<sim::Message, M>,
+                  "dispatch target must derive from sim::Message");
+    Install(sim::MsgTypeIdOf<M>(),
+            [h = std::move(handler)](sim::ActorId from,
+                                     std::unique_ptr<sim::Message> message) mutable {
+              h(from, std::unique_ptr<M>(static_cast<M*>(message.release())));
+            });
+  }
+
+  /// Route `message` to its registered handler. Returns false (message
+  /// untouched) when no handler is registered, so callers can fall through
+  /// to an app-level handler or log.
+  bool Dispatch(sim::ActorId from, std::unique_ptr<sim::Message>& message) {
+    const sim::MsgTypeId id = message->TypeId();
+    if (id >= handlers_.size() || !handlers_[id]) return false;
+    handlers_[id](from, std::move(message));
+    return true;
+  }
+
+  bool Handles(sim::MsgTypeId id) const noexcept {
+    return id < handlers_.size() && static_cast<bool>(handlers_[id]);
+  }
+
+ private:
+  void Install(sim::MsgTypeId id, Handler handler) {
+    if (handlers_.size() <= id) handlers_.resize(id + 1);
+    handlers_[id] = std::move(handler);
+  }
+
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace peertrack::rpc

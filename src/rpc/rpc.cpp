@@ -1,0 +1,75 @@
+#include "rpc/rpc.hpp"
+
+#include <cmath>
+
+namespace peertrack::rpc {
+
+double RetryPolicy::TimeoutForAttempt(int attempt) const noexcept {
+  return base_timeout_ms * std::pow(backoff_factor, attempt);
+}
+
+CallId RpcClient::StartCall(sim::ActorId to, std::unique_ptr<Request> request,
+                            const RetryPolicy& policy, ErasedCallback callback) {
+  const CallId id = next_call_id_++;
+  request->call_id = id;
+  auto [it, inserted] = pending_.emplace(
+      id, PendingCall{to, std::move(request), policy, 0, {}, std::move(callback)});
+  (void)inserted;
+  SendAttempt(id, it->second);
+  return id;
+}
+
+void RpcClient::SendAttempt(CallId id, PendingCall& call) {
+  // Send a clone and keep the prototype: the network owns in-flight
+  // messages, and a retry may overlap a still-travelling earlier attempt.
+  network_.Send(self_, call.to, call.request->CloneRequest());
+  call.deadline = network_.simulator().ScheduleAfter(
+      JitteredTimeout(call.policy, call.attempt), [this, id] { OnDeadline(id); });
+}
+
+void RpcClient::OnDeadline(CallId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // completed or cancelled under a lazy timer
+  PendingCall& call = it->second;
+  if (call.attempt + 1 < call.policy.max_attempts) {
+    ++call.attempt;
+    network_.metrics().RecordRpcRetry(call.request->TypeName());
+    SendAttempt(id, call);
+    return;
+  }
+  network_.metrics().RecordRpcTimeout(call.request->TypeName());
+  ErasedCallback callback = std::move(call.callback);
+  // Erase before invoking: the callback may start new calls, cancel
+  // others, or tear the client down via CancelAll.
+  pending_.erase(it);
+  if (callback) callback(Status::kTimeout, nullptr);
+}
+
+void RpcClient::CompleteCall(std::unique_ptr<Response> response) {
+  auto it = pending_.find(response->call_id);
+  if (it == pending_.end()) return;  // late duplicate after retry or timeout
+  it->second.deadline.Cancel();
+  ErasedCallback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  if (callback) callback(Status::kOk, std::move(response));
+}
+
+void RpcClient::Cancel(CallId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  it->second.deadline.Cancel();
+  pending_.erase(it);
+}
+
+void RpcClient::CancelAll() {
+  for (auto& [id, call] : pending_) call.deadline.Cancel();
+  pending_.clear();
+}
+
+double RpcClient::JitteredTimeout(const RetryPolicy& policy, int attempt) {
+  const double timeout = policy.TimeoutForAttempt(attempt);
+  if (policy.jitter <= 0.0) return timeout;
+  return timeout * (1.0 + network_.rng().NextDouble(-policy.jitter, policy.jitter));
+}
+
+}  // namespace peertrack::rpc

@@ -24,9 +24,24 @@ void Metrics::RecordMessage(std::string_view type, std::size_t bytes, ActorId fr
   BumpPerActor(received_per_actor_, to);
 }
 
-void Metrics::RecordDrop(std::string_view type) {
-  ++dropped_;
-  Bump(util::Format("drop:{}", type));
+void Metrics::RecordDrop(std::string_view type, DropReason reason) {
+  if (reason == DropReason::kLoss) {
+    ++dropped_loss_;
+    Bump(util::Format("drop.loss:{}", type));
+  } else {
+    ++dropped_down_;
+    Bump(util::Format("drop.down:{}", type));
+  }
+}
+
+void Metrics::RecordRpcRetry(std::string_view type) {
+  ++rpc_retries_;
+  Bump(util::Format("rpc.retry:{}", type));
+}
+
+void Metrics::RecordRpcTimeout(std::string_view type) {
+  ++rpc_timeouts_;
+  Bump(util::Format("rpc.timeout:{}", type));
 }
 
 void Metrics::Bump(const std::string& counter, std::uint64_t by) {
@@ -46,8 +61,11 @@ std::uint64_t Metrics::Counter(std::string_view name) const {
 void Metrics::Reset() { *this = Metrics{}; }
 
 std::string Metrics::Summary() const {
-  std::string out = util::Format("messages={} bytes={} dropped={}\n", total_messages_,
-                                total_bytes_, dropped_);
+  std::string out = util::Format(
+      "messages={} bytes={} dropped={} (loss={} down={}) rpc_retries={} "
+      "rpc_timeouts={}\n",
+      total_messages_, total_bytes_, DroppedMessages(), dropped_loss_,
+      dropped_down_, rpc_retries_, rpc_timeouts_);
   for (const auto& [type, counter] : by_type_) {
     out += util::Format("  {:<24} count={:<10} bytes={}\n", type, counter.count,
                        counter.bytes);
@@ -60,6 +78,26 @@ std::string Metrics::Summary() const {
     out += util::Format("  counter {:<22} {}\n", name, value);
   }
   return out;
+}
+
+std::vector<std::vector<std::string>> Metrics::CsvRows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "value"});
+  rows.push_back({"total_messages", std::to_string(total_messages_)});
+  rows.push_back({"total_bytes", std::to_string(total_bytes_)});
+  rows.push_back({"dropped", std::to_string(DroppedMessages())});
+  rows.push_back({"dropped_loss", std::to_string(dropped_loss_)});
+  rows.push_back({"dropped_down_actor", std::to_string(dropped_down_)});
+  rows.push_back({"rpc_retries", std::to_string(rpc_retries_)});
+  rows.push_back({"rpc_timeouts", std::to_string(rpc_timeouts_)});
+  for (const auto& [type, counter] : by_type_) {
+    rows.push_back({util::Format("count:{}", type), std::to_string(counter.count)});
+    rows.push_back({util::Format("bytes:{}", type), std::to_string(counter.bytes)});
+  }
+  for (const auto& [name, value] : counters_) {
+    rows.push_back({util::Format("counter:{}", name), std::to_string(value)});
+  }
+  return rows;
 }
 
 }  // namespace peertrack::sim

@@ -27,12 +27,24 @@ class Metrics {
     std::uint64_t bytes = 0;
   };
 
+  /// Why a message never reached its destination's OnMessage.
+  enum class DropReason {
+    kLoss,       ///< Lost on the wire (Network::SetLossRate injection).
+    kDownActor,  ///< Destination was down at delivery time.
+  };
+
   /// Record a remote message of `type` and total wire size `bytes`.
   void RecordMessage(std::string_view type, std::size_t bytes, ActorId from,
                      ActorId to);
 
-  /// Record a message dropped because its destination was down.
-  void RecordDrop(std::string_view type);
+  /// Record a dropped message, attributed to its cause.
+  void RecordDrop(std::string_view type, DropReason reason);
+
+  /// Record one RPC attempt re-sent after an unanswered deadline.
+  void RecordRpcRetry(std::string_view type);
+
+  /// Record one RPC that exhausted its attempts and failed to its caller.
+  void RecordRpcTimeout(std::string_view type);
 
   /// Record the hop count of one completed DHT lookup.
   void RecordLookupHops(std::size_t hops) { lookup_hops_.Add(static_cast<double>(hops)); }
@@ -43,7 +55,14 @@ class Metrics {
 
   std::uint64_t TotalMessages() const noexcept { return total_messages_; }
   std::uint64_t TotalBytes() const noexcept { return total_bytes_; }
-  std::uint64_t DroppedMessages() const noexcept { return dropped_; }
+  /// All drops regardless of cause.
+  std::uint64_t DroppedMessages() const noexcept {
+    return dropped_loss_ + dropped_down_;
+  }
+  std::uint64_t DroppedByLoss() const noexcept { return dropped_loss_; }
+  std::uint64_t DroppedToDownActor() const noexcept { return dropped_down_; }
+  std::uint64_t RpcRetries() const noexcept { return rpc_retries_; }
+  std::uint64_t RpcTimeouts() const noexcept { return rpc_timeouts_; }
 
   /// Count/bytes for one message type (zeroes when never seen).
   TypeCounter ForType(std::string_view type) const;
@@ -75,12 +94,20 @@ class Metrics {
   /// Multi-line human-readable dump.
   std::string Summary() const;
 
+  /// The same data as rows for util::CsvWriter: a header row followed by
+  /// one ("metric", "value") row per total, per-type counter, and named
+  /// counter. Benches append these to their sweep CSVs.
+  std::vector<std::vector<std::string>> CsvRows() const;
+
  private:
   static void BumpPerActor(std::vector<std::uint64_t>& v, ActorId id);
 
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_loss_ = 0;
+  std::uint64_t dropped_down_ = 0;
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t rpc_timeouts_ = 0;
   std::map<std::string, TypeCounter, std::less<>> by_type_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   util::RunningStats lookup_hops_;

@@ -1,10 +1,20 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.hpp"
 
 namespace peertrack::sim {
+
+namespace detail {
+
+MsgTypeId AllocateMsgTypeId() noexcept {
+  static std::atomic<MsgTypeId> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 Network::Network(Simulator& simulator, LatencyModel& latency, util::Rng& rng)
     : simulator_(simulator), latency_(latency), rng_(rng) {}
@@ -25,7 +35,7 @@ void Network::Send(ActorId from, ActorId to, std::unique_ptr<Message> message) {
     metrics_.RecordMessage(message->TypeName(),
                            kMessageHeaderBytes + message->ApproxBytes(), from, to);
     if (loss_rate_ > 0.0 && rng_.NextBool(loss_rate_)) {
-      metrics_.RecordDrop(message->TypeName());
+      metrics_.RecordDrop(message->TypeName(), Metrics::DropReason::kLoss);
       return;  // Lost on the wire; the sender still paid for it.
     }
   }
@@ -33,7 +43,7 @@ void Network::Send(ActorId from, ActorId to, std::unique_ptr<Message> message) {
       delay, [this, from, to, msg = std::move(message)]() mutable {
         Slot& slot = actors_[to];
         if (!slot.up || slot.actor == nullptr) {
-          metrics_.RecordDrop(msg->TypeName());
+          metrics_.RecordDrop(msg->TypeName(), Metrics::DropReason::kDownActor);
           return;
         }
         slot.actor->OnMessage(from, std::move(msg));
@@ -51,7 +61,7 @@ void Network::SendInstant(ActorId from, ActorId to, std::unique_ptr<Message> mes
   }
   Slot& slot = actors_[to];
   if (!slot.up || slot.actor == nullptr) {
-    metrics_.RecordDrop(message->TypeName());
+    metrics_.RecordDrop(message->TypeName(), Metrics::DropReason::kDownActor);
     return;
   }
   slot.actor->OnMessage(from, std::move(message));

@@ -7,6 +7,7 @@
 // "messages transferred over the network" metric. Down actors drop inbound
 // messages (churn experiments flip liveness).
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -23,14 +24,44 @@ namespace peertrack::sim {
 /// irrelevant, only relative volumes matter.
 constexpr std::size_t kMessageHeaderBytes = 40;
 
+/// Dense per-process identifier of a concrete Message subclass. Ids are
+/// handed out on first use (MsgTypeIdOf), so they stay small and index
+/// directly into the rpc::Dispatcher handler table — O(1) dispatch with no
+/// dynamic_cast chains.
+using MsgTypeId = std::uint32_t;
+
+namespace detail {
+/// Next unused type id (atomic: bench sweeps instantiate simulators on a
+/// thread pool and may race first-use registration).
+MsgTypeId AllocateMsgTypeId() noexcept;
+}  // namespace detail
+
+/// The type id of message class T (stable for the process lifetime).
+template <typename T>
+MsgTypeId MsgTypeIdOf() noexcept {
+  static const MsgTypeId id = detail::AllocateMsgTypeId();
+  return id;
+}
+
 /// Base class of all wire messages. Subclasses live in the protocol
 /// modules; they carry plain data members and report an approximate
-/// serialized size so the byte metric is meaningful.
+/// serialized size so the byte metric is meaningful. Concrete types derive
+/// from MessageBase (or rpc::RequestBase / rpc::ResponseBase), which
+/// implements TypeId().
 class Message {
  public:
   virtual ~Message() = default;
+  virtual MsgTypeId TypeId() const noexcept = 0;
   virtual std::string_view TypeName() const noexcept = 0;
   virtual std::size_t ApproxBytes() const noexcept = 0;
+};
+
+/// CRTP helper wiring a concrete message class to its type id:
+///   struct Hello final : sim::MessageBase<Hello> { ... };
+template <typename Derived>
+class MessageBase : public Message {
+ public:
+  MsgTypeId TypeId() const noexcept final { return MsgTypeIdOf<Derived>(); }
 };
 
 class Actor {

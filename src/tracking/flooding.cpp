@@ -4,6 +4,19 @@
 
 namespace peertrack::tracking {
 
+void FloodingQueryEngine::RegisterHandlers(rpc::Dispatcher& dispatcher) {
+  server_.Handle<FloodProbe>(
+      dispatcher, [this](sim::ActorId, std::unique_ptr<FloodProbe> probe) {
+        auto reply = std::make_unique<FloodReply>();
+        if (const auto* visits = iop_.VisitsOf(probe->object)) {
+          reply->arrivals.reserve(visits->size());
+          for (const auto& visit : *visits) reply->arrivals.push_back(visit.arrived);
+        }
+        return reply;
+      });
+  rpc_.RouteResponses<FloodReply>(dispatcher);
+}
+
 void FloodingQueryEngine::Query(const chord::Key& object, Callback callback) {
   const std::uint64_t query_id = next_query_id_++;
   Pending pending;
@@ -17,46 +30,42 @@ void FloodingQueryEngine::Query(const chord::Key& object, Callback callback) {
       pending.collected.emplace_back(self_, visit.arrived);
     }
   }
+  auto [it, inserted] = pending_.emplace(query_id, std::move(pending));
+  (void)inserted;
 
   std::size_t sent = 0;
   for (const auto& peer : peers_) {
     if (peer.actor == self_.actor) continue;
-    peer_by_actor_[peer.actor] = peer;
     auto probe = std::make_unique<FloodProbe>();
-    probe->query_id = query_id;
     probe->object = object;
-    network_.Send(self_.actor, peer.actor, std::move(probe));
+    rpc_.Call<FloodReply>(
+        peer.actor, std::move(probe), policy_,
+        [this, query_id, peer](rpc::Status status,
+                               std::unique_ptr<FloodReply> reply) {
+          auto pit = pending_.find(query_id);
+          if (pit == pending_.end()) return;
+          if (status == rpc::Status::kOk) {
+            ++pit->second.messages;
+            for (const moods::Time arrived : reply->arrivals) {
+              pit->second.collected.emplace_back(peer, arrived);
+            }
+          }
+          OnPeerDone(query_id);
+        });
     ++sent;
   }
-  pending.awaiting = sent;
-  pending.messages = sent;
-  pending_.emplace(query_id, std::move(pending));
+  // The emplaced entry cannot have been touched yet: every call completes
+  // asynchronously (first deadline or delivery is strictly in the future).
+  it->second.awaiting = sent;
+  it->second.messages = sent;
   if (sent == 0) Finish(query_id);
 }
 
-void FloodingQueryEngine::HandleProbe(sim::ActorId from, const FloodProbe& probe) {
-  auto reply = std::make_unique<FloodReply>();
-  reply->query_id = probe.query_id;
-  if (const auto* visits = iop_.VisitsOf(probe.object)) {
-    reply->arrivals.reserve(visits->size());
-    for (const auto& visit : *visits) reply->arrivals.push_back(visit.arrived);
-  }
-  network_.Send(self_.actor, from, std::move(reply));
-}
-
-void FloodingQueryEngine::HandleReply(sim::ActorId from, const FloodReply& reply) {
-  const auto it = pending_.find(reply.query_id);
+void FloodingQueryEngine::OnPeerDone(std::uint64_t query_id) {
+  auto it = pending_.find(query_id);
   if (it == pending_.end()) return;
-  Pending& pending = it->second;
-  ++pending.messages;
-  const auto peer_it = peer_by_actor_.find(from);
-  const chord::NodeRef peer =
-      peer_it == peer_by_actor_.end() ? chord::NodeRef{} : peer_it->second;
-  for (const moods::Time arrived : reply.arrivals) {
-    pending.collected.emplace_back(peer, arrived);
-  }
-  if (pending.awaiting > 0) --pending.awaiting;
-  if (pending.awaiting == 0) Finish(reply.query_id);
+  if (it->second.awaiting > 0) --it->second.awaiting;
+  if (it->second.awaiting == 0) Finish(query_id);
 }
 
 void FloodingQueryEngine::Finish(std::uint64_t query_id) {

@@ -9,6 +9,10 @@
 // and the origin assembles the trajectory. Correct, index-free, and
 // O(N) messages per query — the benchmark `ablation_flooding` quantifies
 // exactly the trade-off the paper's design removes.
+//
+// Each per-peer probe is an RPC, so a down or unreachable peer costs a
+// retry sequence and then counts as answered-empty instead of stalling the
+// whole broadcast forever.
 
 #include <cstdint>
 #include <functional>
@@ -17,6 +21,8 @@
 
 #include "chord/types.hpp"
 #include "moods/iop.hpp"
+#include "rpc/dispatcher.hpp"
+#include "rpc/rpc.hpp"
 #include "sim/network.hpp"
 
 namespace peertrack::tracking {
@@ -24,25 +30,25 @@ namespace peertrack::tracking {
 class TrackerNode;
 
 /// Broadcast probe: "send me every visit you witnessed for `object`".
-struct FloodProbe final : sim::Message {
-  std::uint64_t query_id = 0;
+struct FloodProbe final : rpc::RequestBase<FloodProbe> {
   chord::Key object;
 
   std::string_view TypeName() const noexcept override { return "track.flood_probe"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 20; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes + 20; }
 };
 
-struct FloodReply final : sim::Message {
-  std::uint64_t query_id = 0;
+struct FloodReply final : rpc::ResponseBase<FloodReply> {
   /// Arrival times of the sender's visits (empty = never seen).
   std::vector<moods::Time> arrivals;
 
   std::string_view TypeName() const noexcept override { return "track.flood_reply"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + arrivals.size() * 8; }
+  std::size_t ApproxBytes() const noexcept override {
+    return rpc::kCallIdBytes + arrivals.size() * 8;
+  }
 };
 
 /// Per-node flooding query engine. Owns its pending-query state; plugs into
-/// TrackerNode's message dispatch.
+/// TrackerNode's message dispatch via RegisterHandlers.
 class FloodingQueryEngine {
  public:
   struct Result {
@@ -58,17 +64,24 @@ class FloodingQueryEngine {
 
   FloodingQueryEngine(sim::Network& network, const chord::NodeRef& self,
                       const moods::IopStore& iop)
-      : network_(network), self_(self), iop_(iop) {}
+      : network_(network), self_(self), iop_(iop), rpc_(network), server_(network) {
+    rpc_.Bind(self_.actor);
+    server_.Bind(self_.actor);
+  }
+
+  /// Wire the probe server and reply routing into the owning node's
+  /// dispatcher. Call once.
+  void RegisterHandlers(rpc::Dispatcher& dispatcher);
+
+  /// Deadline/backoff per probed peer.
+  void SetRetryPolicy(const rpc::RetryPolicy& policy) { policy_ = policy; }
 
   /// Peers to flood (every alive organization; maintained by the system).
   void SetMembership(std::vector<chord::NodeRef> peers) { peers_ = std::move(peers); }
 
-  /// Broadcast a trace query for `object`.
+  /// Broadcast a trace query for `object`. The callback always fires once
+  /// every per-peer call has completed or exhausted its retries.
   void Query(const chord::Key& object, Callback callback);
-
-  /// Message hooks (called from TrackerNode::OnAppMessage).
-  void HandleProbe(sim::ActorId from, const FloodProbe& probe);
-  void HandleReply(sim::ActorId from, const FloodReply& reply);
 
  private:
   struct Pending {
@@ -80,15 +93,18 @@ class FloodingQueryEngine {
     std::vector<std::pair<chord::NodeRef, moods::Time>> collected;
   };
 
+  void OnPeerDone(std::uint64_t query_id);
   void Finish(std::uint64_t query_id);
 
   sim::Network& network_;
   chord::NodeRef self_;
   const moods::IopStore& iop_;
+  rpc::RpcClient rpc_;
+  rpc::RpcServer server_;
+  rpc::RetryPolicy policy_;
   std::vector<chord::NodeRef> peers_;
   std::uint64_t next_query_id_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;
-  std::unordered_map<sim::ActorId, chord::NodeRef> peer_by_actor_;
 };
 
 }  // namespace peertrack::tracking

@@ -8,7 +8,10 @@
 //
 // M1/GroupArrival are DHT-routed via RoutedEnvelope (greedy forwarding, one
 // message per overlay hop); M2/M3 go point-to-point because the gateway
-// knows the target addresses from its index.
+// knows the target addresses from its index. All of these are one-way
+// (sim::MessageBase). The query-side exchanges — trace probes and IOP walk
+// steps — are request/response RPCs (rpc::RequestBase/ResponseBase), so
+// they retry through rpc::RpcClient and always complete or fail fast.
 
 #include <memory>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "chord/types.hpp"
 #include "hash/keyspace.hpp"
 #include "moods/object.hpp"
+#include "rpc/rpc.hpp"
 #include "sim/network.hpp"
 
 namespace peertrack::tracking {
@@ -26,7 +30,7 @@ using moods::Time;
 
 /// Greedy DHT routing wrapper: forwarded hop by hop toward the owner of
 /// `target`, then unwrapped and dispatched locally.
-struct RoutedEnvelope final : sim::Message {
+struct RoutedEnvelope final : sim::MessageBase<RoutedEnvelope> {
   Key target;
   std::unique_ptr<sim::Message> inner;
 
@@ -39,7 +43,7 @@ struct RoutedEnvelope final : sim::Message {
 /// M1 (individual indexing): object `object` arrived at `at` (time
 /// `arrived`). `prev_hint` is unused by the paper's protocol but kept in
 /// the struct for wire-size parity with deployments that echo it.
-struct ObjectArrival final : sim::Message {
+struct ObjectArrival final : sim::MessageBase<ObjectArrival> {
   Key object;
   NodeRef at;
   Time arrived = 0.0;
@@ -50,7 +54,7 @@ struct ObjectArrival final : sim::Message {
 
 /// M1 (group indexing): one message per (window, prefix group).
 /// Wire format per the paper: (group id, (objects), timestamp).
-struct GroupArrival final : sim::Message {
+struct GroupArrival final : sim::MessageBase<GroupArrival> {
   hash::Prefix prefix;
   NodeRef at;
   std::vector<std::pair<Key, Time>> objects;
@@ -63,7 +67,7 @@ struct GroupArrival final : sim::Message {
 
 /// M2: tells the object's previous node where it went. Batched: one
 /// message per (gateway, previous-node) pair.
-struct IopToUpdate final : sim::Message {
+struct IopToUpdate final : sim::MessageBase<IopToUpdate> {
   struct Item {
     Key object;
     NodeRef to;
@@ -79,7 +83,7 @@ struct IopToUpdate final : sim::Message {
 
 /// M3: tells the object's new node where it came from. Batched: one
 /// message per (gateway, capturing-node) pair.
-struct IopFromUpdate final : sim::Message {
+struct IopFromUpdate final : sim::MessageBase<IopFromUpdate> {
   struct Item {
     Key object;
     Time arrived = 0.0;          ///< Arrival time at the receiving node.
@@ -98,7 +102,7 @@ struct IopFromUpdate final : sim::Message {
 /// update is mirrored to the gateway's ring successor, which by Chord's
 /// ownership rule becomes the key's owner if the gateway crashes — so the
 /// backup is exactly where queries will look next.
-struct ReplicaUpdate final : sim::Message {
+struct ReplicaUpdate final : sim::MessageBase<ReplicaUpdate> {
   struct Item {
     Key object;
     NodeRef latest_node;
@@ -115,47 +119,45 @@ struct ReplicaUpdate final : sim::Message {
 /// Query routing probe (paper Section IV-B): the querying node walks the
 /// overlay toward the object's gateway key, asking each hop whether it can
 /// already answer from local IOP.
-struct TraceProbe final : sim::Message {
-  std::uint64_t query_id = 0;
+struct TraceProbe final : rpc::RequestBase<TraceProbe> {
   Key object;
   Key routing_target;  ///< hash(object) or hash(prefix) depending on mode.
   bool allow_intercept = true;  ///< Locate queries need the gateway's
                                 ///< authoritative latest; no interception.
 
   std::string_view TypeName() const noexcept override { return "track.probe"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 40 + 1; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes + 40 + 1; }
 };
 
-struct TraceProbeReply final : sim::Message {
+struct TraceProbeReply final : rpc::ResponseBase<TraceProbeReply> {
   enum class Kind : std::uint8_t {
     kNextHop,     ///< Keep routing; `node` is the next hop.
     kHasIop,      ///< I witnessed the object; walk can start from me.
     kGatewayHit,  ///< I am the gateway; `node`/`arrived` give latest location.
     kNotFound,    ///< I am the gateway; the object is unknown.
   };
-  std::uint64_t query_id = 0;
   Kind kind = Kind::kNextHop;
   NodeRef node;
   Time arrived = 0.0;  ///< For kGatewayHit: arrival time at latest node.
                        ///< For kHasIop: arrival time of my latest visit.
 
   std::string_view TypeName() const noexcept override { return "track.probe_reply"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 1 + chord::kNodeRefBytes + 8; }
+  std::size_t ApproxBytes() const noexcept override {
+    return rpc::kCallIdBytes + 1 + chord::kNodeRefBytes + 8;
+  }
 };
 
 /// One step of the IOP walk: ask a node for its visit record of `object`
 /// identified by arrival time.
-struct IopWalkRequest final : sim::Message {
-  std::uint64_t query_id = 0;
+struct IopWalkRequest final : rpc::RequestBase<IopWalkRequest> {
   Key object;
   Time arrived = 0.0;
 
   std::string_view TypeName() const noexcept override { return "track.walk_req"; }
-  std::size_t ApproxBytes() const noexcept override { return 8 + 20 + 8; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes + 20 + 8; }
 };
 
-struct IopWalkResponse final : sim::Message {
-  std::uint64_t query_id = 0;
+struct IopWalkResponse final : rpc::ResponseBase<IopWalkResponse> {
   bool found = false;
   Time arrived = 0.0;
   bool has_from = false;
@@ -167,7 +169,7 @@ struct IopWalkResponse final : sim::Message {
 
   std::string_view TypeName() const noexcept override { return "track.walk_resp"; }
   std::size_t ApproxBytes() const noexcept override {
-    return 8 + 1 + 8 + 2 * (1 + chord::kNodeRefBytes + 8);
+    return rpc::kCallIdBytes + 1 + 8 + 2 * (1 + chord::kNodeRefBytes + 8);
   }
 };
 

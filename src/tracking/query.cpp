@@ -7,6 +7,11 @@
 // answering node is found, the querying node walks the distributed
 // doubly-linked IOP list: backward along `from` links to the first
 // appearance, then forward along `to` links to the current location.
+//
+// Every probe and walk step is an RPC (TrackerConfig::rpc policy): lost
+// messages are retried with backoff, and a hop that exhausts its retries
+// fails the query (probe phase) or completes it with the steps collected
+// so far (walk phase) — queries never hang on loss or dead nodes.
 
 #include "tracking/tracker_node.hpp"
 #include "util/logging.hpp"
@@ -104,16 +109,23 @@ void TrackerNode::ProbeStep(std::uint64_t query_id, const chord::NodeRef& target
   query.probe_current = target_node;
 
   auto probe = std::make_unique<TraceProbe>();
-  probe->query_id = query_id;
   probe->object = query.object;
   probe->routing_target = query.target;
   probe->allow_intercept = !query.locate_only;
-  chord_.network().Send(Self().actor, target_node.actor, std::move(probe));
+  query.call = rpc_.Call<TraceProbeReply>(
+      target_node.actor, std::move(probe), config_.rpc,
+      [this, query_id](rpc::Status status,
+                       std::unique_ptr<TraceProbeReply> reply) {
+        if (status == rpc::Status::kOk) {
+          HandleProbeReply(query_id, *reply);
+        } else {
+          HandleProbeTimeout(query_id);
+        }
+      });
 }
 
-void TrackerNode::HandleProbe(sim::ActorId from, const TraceProbe& probe) {
+std::unique_ptr<TraceProbeReply> TrackerNode::HandleProbe(const TraceProbe& probe) {
   auto reply = std::make_unique<TraceProbeReply>();
-  reply->query_id = probe.query_id;
 
   if (probe.allow_intercept && iop_.Knows(probe.object)) {
     const auto* visits = iop_.VisitsOf(probe.object);
@@ -148,39 +160,49 @@ void TrackerNode::HandleProbe(sim::ActorId from, const TraceProbe& probe) {
       reply->node = step.node;
     }
   }
-  chord_.network().Send(Self().actor, from, std::move(reply));
+  return reply;
 }
 
-void TrackerNode::HandleProbeReply(const TraceProbeReply& reply) {
-  auto it = queries_.find(reply.query_id);
+void TrackerNode::HandleProbeReply(std::uint64_t query_id,
+                                   const TraceProbeReply& reply) {
+  auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   PendingQuery& query = it->second;
 
   switch (reply.kind) {
     case TraceProbeReply::Kind::kNextHop:
       if (reply.node.actor == query.probe_current.actor) {
-        FinishQuery(reply.query_id, false);
+        FinishQuery(query_id, false);
         return;
       }
-      ProbeStep(reply.query_id, reply.node);
+      ProbeStep(query_id, reply.node);
       return;
     case TraceProbeReply::Kind::kNotFound:
-      FinishQuery(reply.query_id, false);
+      FinishQuery(query_id, false);
       return;
     case TraceProbeReply::Kind::kHasIop:
       // Locate queries set allow_intercept=false, so this only occurs for
       // trace queries.
-      BeginWalk(reply.query_id, reply.node, reply.arrived);
+      BeginWalk(query_id, reply.node, reply.arrived);
       return;
     case TraceProbeReply::Kind::kGatewayHit:
       if (query.locate_only) {
         query.steps.emplace(reply.arrived, reply.node);
-        FinishQuery(reply.query_id, true);
+        FinishQuery(query_id, true);
         return;
       }
-      BeginWalk(reply.query_id, reply.node, reply.arrived);
+      BeginWalk(query_id, reply.node, reply.arrived);
       return;
   }
+}
+
+void TrackerNode::HandleProbeTimeout(std::uint64_t query_id) {
+  if (!queries_.contains(query_id)) return;
+  // The probed hop exhausted its RPC retries (down node or persistent
+  // loss). The routing walk cannot continue past it; fail fast to the
+  // caller rather than waiting for the global safety timer.
+  chord_.network().metrics().Bump("track.probe_timeout");
+  FinishQuery(query_id, false);
 }
 
 void TrackerNode::BeginWalk(std::uint64_t query_id, const chord::NodeRef& node,
@@ -201,18 +223,26 @@ void TrackerNode::WalkStep(std::uint64_t query_id) {
   PendingQuery& query = it->second;
 
   auto request = std::make_unique<IopWalkRequest>();
-  request->query_id = query_id;
   request->object = query.object;
   request->arrived =
       query.walking_backward ? query.walk_arrived : query.forward_arrived;
   const chord::NodeRef& target =
       query.walking_backward ? query.walk_node : query.forward_node;
-  chord_.network().Send(Self().actor, target.actor, std::move(request));
+  query.call = rpc_.Call<IopWalkResponse>(
+      target.actor, std::move(request), config_.rpc,
+      [this, query_id](rpc::Status status,
+                       std::unique_ptr<IopWalkResponse> response) {
+        if (status == rpc::Status::kOk) {
+          HandleWalkResponse(query_id, *response);
+        } else {
+          HandleWalkTimeout(query_id);
+        }
+      });
 }
 
-void TrackerNode::HandleWalkRequest(sim::ActorId from, const IopWalkRequest& request) {
+std::unique_ptr<IopWalkResponse> TrackerNode::HandleWalkRequest(
+    const IopWalkRequest& request) {
   auto response = std::make_unique<IopWalkResponse>();
-  response->query_id = request.query_id;
   const moods::Visit* visit = iop_.VisitAt(request.object, request.arrived);
   if (visit == nullptr) {
     // Arrival-time mismatch (e.g. in-flight M3): fall back to the nearest
@@ -238,11 +268,12 @@ void TrackerNode::HandleWalkRequest(sim::ActorId from, const IopWalkRequest& req
       response->to_arrived = visit->to_arrived.value_or(0.0);
     }
   }
-  chord_.network().Send(Self().actor, from, std::move(response));
+  return response;
 }
 
-void TrackerNode::HandleWalkResponse(const IopWalkResponse& response) {
-  auto it = queries_.find(response.query_id);
+void TrackerNode::HandleWalkResponse(std::uint64_t query_id,
+                                     const IopWalkResponse& response) {
+  auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   PendingQuery& query = it->second;
 
@@ -250,10 +281,10 @@ void TrackerNode::HandleWalkResponse(const IopWalkResponse& response) {
     // Dead link: complete with what was collected so far.
     if (query.walking_backward && query.forward_pending) {
       query.walking_backward = false;
-      WalkStep(response.query_id);
+      WalkStep(query_id);
       return;
     }
-    FinishQuery(response.query_id, !query.steps.empty());
+    FinishQuery(query_id, !query.steps.empty());
     return;
   }
 
@@ -273,16 +304,16 @@ void TrackerNode::HandleWalkResponse(const IopWalkResponse& response) {
     if (response.has_from) {
       query.walk_node = response.from;
       query.walk_arrived = response.from_arrived;
-      WalkStep(response.query_id);
+      WalkStep(query_id);
       return;
     }
     // Backward walk reached the first appearance.
     if (query.forward_pending) {
       query.walking_backward = false;
-      WalkStep(response.query_id);
+      WalkStep(query_id);
       return;
     }
-    FinishQuery(response.query_id, true);
+    FinishQuery(query_id, true);
     return;
   }
 
@@ -290,10 +321,25 @@ void TrackerNode::HandleWalkResponse(const IopWalkResponse& response) {
   if (response.has_to) {
     query.forward_node = response.to;
     query.forward_arrived = response.to_arrived;
-    WalkStep(response.query_id);
+    WalkStep(query_id);
     return;
   }
-  FinishQuery(response.query_id, true);
+  FinishQuery(query_id, true);
+}
+
+void TrackerNode::HandleWalkTimeout(std::uint64_t query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  PendingQuery& query = it->second;
+  // The walked node exhausted its RPC retries — treat it like a dead link
+  // and degrade gracefully with the steps collected so far.
+  chord_.network().metrics().Bump("track.walk_timeout");
+  if (query.walking_backward && query.forward_pending) {
+    query.walking_backward = false;
+    WalkStep(query_id);
+    return;
+  }
+  FinishQuery(query_id, !query.steps.empty());
 }
 
 void TrackerNode::FinishQuery(std::uint64_t query_id, bool ok) {
@@ -302,6 +348,7 @@ void TrackerNode::FinishQuery(std::uint64_t query_id, bool ok) {
   PendingQuery query = std::move(it->second);
   queries_.erase(it);
   query.timeout.Cancel();
+  rpc_.Cancel(query.call);
 
   const moods::Time now = chord_.network().simulator().Now();
   if (query.locate_only) {

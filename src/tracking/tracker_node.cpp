@@ -10,9 +10,53 @@ TrackerNode::TrackerNode(chord::ChordNode& chord, PeerDirectory& peers,
       peers_(peers),
       global_lp_(global_lp),
       config_(config),
+      rpc_(chord.network()),
+      server_(chord.network()),
       window_(config.window),
       flood_(chord.network(), chord.Self(), iop_) {
   chord_.SetAppHandler(this);
+  rpc_.Bind(Self().actor);
+  server_.Bind(Self().actor);
+  flood_.SetRetryPolicy(config_.rpc);
+  RegisterHandlers();
+}
+
+void TrackerNode::RegisterHandlers() {
+  dispatcher_.On<RoutedEnvelope>(
+      [this](sim::ActorId, std::unique_ptr<RoutedEnvelope> envelope) {
+        HandleEnvelope(std::move(envelope));
+      });
+  dispatcher_.On<ObjectArrival>(
+      [this](sim::ActorId, std::unique_ptr<ObjectArrival> arrival) {
+        HandleObjectArrival(*arrival);
+      });
+  dispatcher_.On<GroupArrival>(
+      [this](sim::ActorId, std::unique_ptr<GroupArrival> arrival) {
+        HandleGroupArrival(*arrival);
+      });
+  dispatcher_.On<IopToUpdate>(
+      [this](sim::ActorId, std::unique_ptr<IopToUpdate> update) {
+        HandleIopTo(*update);
+      });
+  dispatcher_.On<IopFromUpdate>(
+      [this](sim::ActorId, std::unique_ptr<IopFromUpdate> update) {
+        HandleIopFrom(*update);
+      });
+  dispatcher_.On<ReplicaUpdate>(
+      [this](sim::ActorId, std::unique_ptr<ReplicaUpdate> update) {
+        HandleReplica(*update);
+      });
+  server_.Handle<TraceProbe>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<TraceProbe> probe) {
+        return HandleProbe(*probe);
+      });
+  server_.Handle<IopWalkRequest>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<IopWalkRequest> request) {
+        return HandleWalkRequest(*request);
+      });
+  rpc_.RouteResponses<TraceProbeReply>(dispatcher_);
+  rpc_.RouteResponses<IopWalkResponse>(dispatcher_);
+  flood_.RegisterHandlers(dispatcher_);
 }
 
 moods::Receptor& TrackerNode::AddReceptor(std::string name) {
@@ -108,14 +152,9 @@ void TrackerNode::HandleEnvelope(std::unique_ptr<RoutedEnvelope> envelope) {
 }
 
 void TrackerNode::DispatchInner(std::unique_ptr<sim::Message> inner) {
-  if (auto* arrival = dynamic_cast<ObjectArrival*>(inner.get())) {
-    HandleObjectArrival(*arrival);
-    return;
-  }
-  if (auto* group = dynamic_cast<GroupArrival*>(inner.get())) {
-    HandleGroupArrival(*group);
-    return;
-  }
+  // Unwrapped envelope payloads (ObjectArrival / GroupArrival) reuse the
+  // same typed dispatch table as direct deliveries.
+  if (dispatcher_.Dispatch(Self().actor, inner)) return;
   util::LogWarn("tracker {}: unexpected routed payload {}", Self().Describe(),
                 inner->TypeName());
 }
@@ -253,47 +292,7 @@ void TrackerNode::HandleIopFrom(const IopFromUpdate& update) {
 // --- AppHandler --------------------------------------------------------------
 
 void TrackerNode::OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) {
-  if (auto* envelope = dynamic_cast<RoutedEnvelope*>(message.get())) {
-    message.release();
-    HandleEnvelope(std::unique_ptr<RoutedEnvelope>(envelope));
-    return;
-  }
-  if (auto* m2 = dynamic_cast<IopToUpdate*>(message.get())) {
-    HandleIopTo(*m2);
-    return;
-  }
-  if (auto* m3 = dynamic_cast<IopFromUpdate*>(message.get())) {
-    HandleIopFrom(*m3);
-    return;
-  }
-  if (auto* replica = dynamic_cast<ReplicaUpdate*>(message.get())) {
-    HandleReplica(*replica);
-    return;
-  }
-  if (auto* flood_probe = dynamic_cast<FloodProbe*>(message.get())) {
-    flood_.HandleProbe(from, *flood_probe);
-    return;
-  }
-  if (auto* flood_reply = dynamic_cast<FloodReply*>(message.get())) {
-    flood_.HandleReply(from, *flood_reply);
-    return;
-  }
-  if (auto* probe = dynamic_cast<TraceProbe*>(message.get())) {
-    HandleProbe(from, *probe);
-    return;
-  }
-  if (auto* reply = dynamic_cast<TraceProbeReply*>(message.get())) {
-    HandleProbeReply(*reply);
-    return;
-  }
-  if (auto* walk = dynamic_cast<IopWalkRequest*>(message.get())) {
-    HandleWalkRequest(from, *walk);
-    return;
-  }
-  if (auto* walk_resp = dynamic_cast<IopWalkResponse*>(message.get())) {
-    HandleWalkResponse(*walk_resp);
-    return;
-  }
+  if (dispatcher_.Dispatch(from, message)) return;
   util::LogWarn("tracker {}: unhandled app message {}", Self().Describe(),
                 message->TypeName());
 }

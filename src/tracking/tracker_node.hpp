@@ -35,6 +35,8 @@
 #include "chord/chord_node.hpp"
 #include "moods/iop.hpp"
 #include "moods/receptor.hpp"
+#include "rpc/dispatcher.hpp"
+#include "rpc/rpc.hpp"
 #include "tracking/gateway_index.hpp"
 #include "tracking/grouping.hpp"
 #include "tracking/flooding.hpp"
@@ -60,8 +62,12 @@ struct TrackerConfig {
   bool always_refresh_ascent = false;
   std::size_t max_descent_depth = 8;      ///< Safety bound for descent walks.
   std::size_t max_probe_steps = 128;      ///< Query routing safety valve.
-  double query_timeout_ms = 60000.0;      ///< Fail queries whose messages
-                                          ///< were lost (e.g. crashed hop).
+  double query_timeout_ms = 60000.0;      ///< Global per-query safety net on
+                                          ///< top of per-RPC deadlines.
+  /// Deadline/backoff for every query-side RPC (trace probes, IOP walk
+  /// steps, flood probes). A step that exhausts this policy fails the
+  /// query to its callback instead of hanging.
+  rpc::RetryPolicy rpc;
   /// Extension (not in the paper): mirror every gateway index update to
   /// the gateway's ring successor. When the gateway crashes, Chord makes
   /// that successor the key's new owner, so queries fall through to the
@@ -261,23 +267,31 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
     bool forward_pending = false;
     chord::NodeRef forward_node;
     moods::Time forward_arrived = 0.0;
+    rpc::CallId call = 0;  ///< In-flight probe/walk RPC.
     sim::EventHandle timeout;
   };
+  void RegisterHandlers();
   void StartQuery(const hash::UInt160& object, PendingQuery query);
   void ProbeStep(std::uint64_t query_id, const chord::NodeRef& target_node);
-  void HandleProbe(sim::ActorId from, const TraceProbe& probe);
-  void HandleProbeReply(const TraceProbeReply& reply);
+  std::unique_ptr<TraceProbeReply> HandleProbe(const TraceProbe& probe);
+  void HandleProbeReply(std::uint64_t query_id, const TraceProbeReply& reply);
+  void HandleProbeTimeout(std::uint64_t query_id);
   void BeginWalk(std::uint64_t query_id, const chord::NodeRef& node,
                  moods::Time arrived);
   void WalkStep(std::uint64_t query_id);
-  void HandleWalkRequest(sim::ActorId from, const IopWalkRequest& request);
-  void HandleWalkResponse(const IopWalkResponse& response);
+  std::unique_ptr<IopWalkResponse> HandleWalkRequest(const IopWalkRequest& request);
+  void HandleWalkResponse(std::uint64_t query_id, const IopWalkResponse& response);
+  void HandleWalkTimeout(std::uint64_t query_id);
   void FinishQuery(std::uint64_t query_id, bool ok);
 
   chord::ChordNode& chord_;
   PeerDirectory& peers_;
   GlobalPrefixState& global_lp_;
   TrackerConfig config_;
+
+  rpc::Dispatcher dispatcher_;
+  rpc::RpcClient rpc_;
+  rpc::RpcServer server_;
 
   moods::IopStore iop_;
   PrefixBucket individual_;  ///< Individual-mode gateway entries (flat).

@@ -31,8 +31,10 @@ class ByteWriter {
 
  private:
   void Raw(const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const std::uint8_t*>(data);
-    buffer_.insert(buffer_.end(), bytes, bytes + size);
+    if (size == 0) return;
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + size);
+    std::memcpy(buffer_.data() + old_size, data, size);
   }
   std::vector<std::uint8_t> buffer_;
 };

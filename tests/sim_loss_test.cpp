@@ -15,7 +15,7 @@ struct CountingActor final : sim::Actor {
   void OnMessage(sim::ActorId, std::unique_ptr<sim::Message>) override { ++received; }
 };
 
-struct PingMessage final : sim::Message {
+struct PingMessage final : sim::MessageBase<PingMessage> {
   std::string_view TypeName() const noexcept override { return "test.ping"; }
   std::size_t ApproxBytes() const noexcept override { return 1; }
 };
@@ -92,6 +92,100 @@ TEST(MessageLoss, ChordLookupsSurviveModerateLoss) {
     sim.Run();
   }
   EXPECT_GE(resolved, 36);  // Allow a few unlucky multi-loss failures.
+}
+
+TEST(MessageLoss, TraceAndLocateQueriesCompleteAtModerateLoss) {
+  // The query-side RPCs (lookup steps, trace probes, IOP walks) retry with
+  // backoff, so 5% loss costs latency, not answers.
+  tracking::SystemConfig config;
+  config.tracker.mode = tracking::IndexingMode::kIndividual;
+  tracking::TrackingSystem system(16, config);
+
+  std::vector<hash::UInt160> objects;
+  for (int i = 0; i < 8; ++i) {
+    const auto object = hash::ObjectKey(util::Format("epc:retry-{}", i));
+    objects.push_back(object);
+    workload::InjectTrajectory(
+        system, object,
+        {static_cast<moods::NodeIndex>(i % 16),
+         static_cast<moods::NodeIndex>((i + 5) % 16),
+         static_cast<moods::NodeIndex>((i + 11) % 16)},
+        10.0, 400.0);
+  }
+  system.Run();
+  system.FlushAllWindows();
+
+  system.network().SetLossRate(0.05);
+  int trace_done = 0, trace_correct = 0;
+  int locate_done = 0, locate_correct = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto& object = objects[i];
+    const std::size_t origin = (i + 1) % 16;
+    system.TraceQuery(origin, object, [&](tracking::TrackerNode::TraceResult r) {
+      ++trace_done;
+      const auto* expected = system.oracle().FullTrace(object);
+      if (r.ok && expected != nullptr && r.path.size() == expected->size()) {
+        bool match = true;
+        for (std::size_t s = 0; s < expected->size(); ++s) {
+          if (system.NodeIndexOfActor(r.path[s].node.actor) != (*expected)[s].node) {
+            match = false;
+          }
+        }
+        trace_correct += match ? 1 : 0;
+      }
+    });
+    system.Run();
+    system.LocateQuery(origin, object, [&](tracking::TrackerNode::LocateResult r) {
+      ++locate_done;
+      const auto* expected = system.oracle().FullTrace(object);
+      if (r.ok && expected != nullptr && !expected->empty() &&
+          system.NodeIndexOfActor(r.node.actor) == expected->back().node) {
+        ++locate_correct;
+      }
+    });
+    system.Run();
+  }
+
+  // Every query terminated (no hangs) ...
+  EXPECT_EQ(trace_done, 8);
+  EXPECT_EQ(locate_done, 8);
+  // ... and nearly all recovered the exact oracle answer despite the loss.
+  EXPECT_GE(trace_correct, 7);
+  EXPECT_GE(locate_correct, 7);
+  // The recovery was paid for by rpc-level retries, visible in metrics.
+  EXPECT_GE(system.metrics().RpcRetries(), 1u);
+}
+
+TEST(MessageLoss, QueriesWithDownNodeCompleteOrFailCleanly) {
+  // One permanently-down trajectory node plus 5% loss: every query still
+  // terminates — either degraded (partial walk) or with an explicit error.
+  tracking::SystemConfig config;
+  config.tracker.mode = tracking::IndexingMode::kIndividual;
+  tracking::TrackingSystem system(12, config);
+  const auto object = hash::ObjectKey("epc:through-down");
+  workload::InjectTrajectory(system, object, {3, 5, 7}, 10.0, 400.0);
+  system.Run();
+  system.FlushAllWindows();
+
+  // Node 5 (mid-trajectory) dies; the wire stays lossy.
+  system.network().SetUp(system.Tracker(5).Self().actor, false);
+  system.network().SetLossRate(0.05);
+
+  bool trace_done = false;
+  system.TraceQuery(0, object, [&](tracking::TrackerNode::TraceResult) {
+    // ok or not depends on whether node 5 was the gateway / a needed walk
+    // hop; the contract under failure is termination, not success.
+    trace_done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(trace_done);
+
+  bool locate_done = false;
+  system.LocateQuery(1, object, [&](tracking::TrackerNode::LocateResult) {
+    locate_done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(locate_done);
 }
 
 TEST(MessageLoss, QueriesTimeOutCleanlyUnderTotalLoss) {

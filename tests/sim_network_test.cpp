@@ -7,7 +7,7 @@
 namespace peertrack::sim {
 namespace {
 
-struct TestMessage final : Message {
+struct TestMessage final : MessageBase<TestMessage> {
   explicit TestMessage(int v) : value(v) {}
   int value;
   std::string_view TypeName() const noexcept override { return "test.msg"; }
@@ -21,8 +21,8 @@ struct Recorder final : Actor {
   Simulator* sim = nullptr;
 
   void OnMessage(ActorId from, std::unique_ptr<Message> message) override {
-    auto* msg = dynamic_cast<TestMessage*>(message.get());
-    ASSERT_NE(msg, nullptr);
+    ASSERT_EQ(message->TypeId(), MsgTypeIdOf<TestMessage>());
+    auto* msg = static_cast<TestMessage*>(message.get());
     received.emplace_back(from, msg->value);
     if (sim != nullptr) receive_times.push_back(sim->Now());
   }

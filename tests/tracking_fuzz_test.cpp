@@ -85,10 +85,13 @@ std::vector<FuzzCase> MakeCases() {
 }
 
 std::string CaseName(const ::testing::TestParamInfo<FuzzCase>& info) {
-  return "n" + std::to_string(info.param.nodes) +
-         (info.param.mode == IndexingMode::kGroup ? "_group" : "_individual") +
-         (info.param.move_in_groups ? "_pallets" : "_loose") + "_s" +
-         std::to_string(info.param.seed & 0xFF);
+  std::string name = "n";
+  name += std::to_string(info.param.nodes);
+  name += info.param.mode == IndexingMode::kGroup ? "_group" : "_individual";
+  name += info.param.move_in_groups ? "_pallets" : "_loose";
+  name += "_s";
+  name += std::to_string(info.param.seed & 0xFF);
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EndToEndFuzz, ::testing::ValuesIn(MakeCases()),

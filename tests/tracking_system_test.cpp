@@ -333,6 +333,50 @@ TEST(TrackingSystem, SingleNodeNetworkWorks) {
   EXPECT_TRUE(done);
 }
 
+TEST(TrackingSystem, QueryToDownGatewayFailsWithErrorInsteadOfHanging) {
+  TrackingSystem system(16, MakeConfig(IndexingMode::kIndividual));
+
+  // Pick an object whose gateway is neither on its trajectory {1, 2} nor
+  // the query origin 0, so the query genuinely depends on the gateway.
+  hash::UInt160 object;
+  TrackerNode* gateway = nullptr;
+  for (int salt = 0;; ++salt) {
+    object = hash::ObjectKey("epc:down-gw-" + std::to_string(salt));
+    gateway = system.OwnerOf(object);
+    ASSERT_NE(gateway, nullptr);
+    const auto index = system.NodeIndexOfActor(gateway->Self().actor);
+    if (index != 0 && index != 1 && index != 2) break;
+  }
+  workload::InjectTrajectory(system, object, {1, 2}, 10.0, 500.0);
+  system.Run();
+  system.FlushAllWindows();
+
+  system.network().SetUp(gateway->Self().actor, false);
+
+  bool trace_done = false;
+  system.TraceQuery(0, object, [&](TrackerNode::TraceResult result) {
+    EXPECT_FALSE(result.ok);
+    EXPECT_TRUE(result.path.empty());
+    trace_done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(trace_done);
+
+  bool locate_done = false;
+  system.LocateQuery(0, object, [&](TrackerNode::LocateResult result) {
+    EXPECT_FALSE(result.ok);
+    locate_done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(locate_done);
+
+  // The failures came from exhausted RPC attempts, not the global safety
+  // timer: the per-hop deadlines fail the query long before 60 s.
+  EXPECT_GE(system.metrics().RpcTimeouts(), 1u);
+  EXPECT_GE(system.metrics().Counter("track.probe_timeout"), 1u);
+  EXPECT_EQ(system.metrics().Counter("track.query_timeout"), 0u);
+}
+
 TEST(TrackingSystem, DeterministicAcrossRuns) {
   auto run_once = [] {
     TrackingSystem system(16, MakeConfig(IndexingMode::kGroup, 0xabcdULL));
