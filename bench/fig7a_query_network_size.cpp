@@ -26,11 +26,13 @@ int main(int argc, char** argv) {
   const std::size_t queries = config.GetUInt("queries", 100);
   const auto sizes = config.GetIntList("sizes", {64, 128, 256, 512});
 
-  util::Table table({"nodes", "p2p mean ms", "p2p p95 ms", "central scan ms",
-                     "central index ms", "db rows"});
+  util::Table table({"nodes", "p2p mean ms", "p2p p50 ms", "p2p p95 ms",
+                     "p2p p99 ms", "central scan ms", "central index ms",
+                     "db rows"});
   std::vector<std::vector<std::string>> csv_rows;
-  csv_rows.push_back({"nodes", "p2p_mean_ms", "p2p_p95_ms", "central_scan_ms",
-                      "central_index_ms", "db_rows"});
+  csv_rows.push_back({"nodes", "p2p_mean_ms", "p2p_p50_ms", "p2p_p95_ms",
+                      "p2p_p99_ms", "central_scan_ms", "central_index_ms",
+                      "db_rows"});
 
   for (const auto size : sizes) {
     const auto nodes = static_cast<std::size_t>(size);
@@ -54,11 +56,16 @@ int main(int argc, char** argv) {
                                                 central_rng2);
 
     table.AddRow({std::to_string(nodes), util::FormatDouble(p2p.mean_ms, 1),
-                  util::FormatDouble(p2p.p95_ms, 1), util::FormatDouble(scan.mean_ms, 1),
+                  util::FormatDouble(p2p.p50_ms, 1),
+                  util::FormatDouble(p2p.p95_ms, 1),
+                  util::FormatDouble(p2p.p99_ms, 1),
+                  util::FormatDouble(scan.mean_ms, 1),
                   util::FormatDouble(indexed.mean_ms, 3),
                   std::to_string(central.store().RowCount())});
     csv_rows.push_back({std::to_string(nodes), util::FormatDouble(p2p.mean_ms, 3),
+                        util::FormatDouble(p2p.p50_ms, 3),
                         util::FormatDouble(p2p.p95_ms, 3),
+                        util::FormatDouble(p2p.p99_ms, 3),
                         util::FormatDouble(scan.mean_ms, 3),
                         util::FormatDouble(indexed.mean_ms, 4),
                         std::to_string(central.store().RowCount())});

@@ -22,11 +22,13 @@ int main(int argc, char** argv) {
   const std::size_t steps = config.GetUInt("steps", 10);
   const std::size_t queries = config.GetUInt("queries", 100);
 
-  util::Table table({"objects/node", "p2p mean ms", "p2p p95 ms", "central scan ms",
-                     "central index ms", "db rows"});
+  util::Table table({"objects/node", "p2p mean ms", "p2p p50 ms", "p2p p95 ms",
+                     "p2p p99 ms", "central scan ms", "central index ms",
+                     "db rows"});
   std::vector<std::vector<std::string>> csv_rows;
-  csv_rows.push_back({"volume", "p2p_mean_ms", "p2p_p95_ms", "central_scan_ms",
-                      "central_index_ms", "db_rows"});
+  csv_rows.push_back({"volume", "p2p_mean_ms", "p2p_p50_ms", "p2p_p95_ms",
+                      "p2p_p99_ms", "central_scan_ms", "central_index_ms",
+                      "db_rows"});
 
   for (std::size_t i = 1; i <= steps; ++i) {
     const std::size_t per_node = base * i;
@@ -50,11 +52,16 @@ int main(int argc, char** argv) {
         RunCentralTraceQueries(central, scenario.object_keys, queries, central_rng2);
 
     table.AddRow({std::to_string(per_node), util::FormatDouble(p2p.mean_ms, 1),
-                  util::FormatDouble(p2p.p95_ms, 1), util::FormatDouble(scan.mean_ms, 1),
+                  util::FormatDouble(p2p.p50_ms, 1),
+                  util::FormatDouble(p2p.p95_ms, 1),
+                  util::FormatDouble(p2p.p99_ms, 1),
+                  util::FormatDouble(scan.mean_ms, 1),
                   util::FormatDouble(indexed.mean_ms, 3),
                   std::to_string(central.store().RowCount())});
     csv_rows.push_back({std::to_string(per_node), util::FormatDouble(p2p.mean_ms, 3),
+                        util::FormatDouble(p2p.p50_ms, 3),
                         util::FormatDouble(p2p.p95_ms, 3),
+                        util::FormatDouble(p2p.p99_ms, 3),
                         util::FormatDouble(scan.mean_ms, 3),
                         util::FormatDouble(indexed.mean_ms, 4),
                         std::to_string(central.store().RowCount())});

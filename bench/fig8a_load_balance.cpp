@@ -18,19 +18,34 @@ using namespace peertrack::bench;
 
 namespace {
 
-std::vector<util::LorenzPoint> RunScheme(tracking::PrefixScheme scheme,
-                                         std::size_t nodes, std::size_t per_node,
-                                         const CommonArgs& args, double& gini,
-                                         double& busy_fraction, unsigned& lp) {
+struct SchemeRun {
+  std::vector<util::LorenzPoint> objects;  ///< Objects-indexed Lorenz curve.
+  std::vector<util::LorenzPoint> bytes;    ///< Received-wire-bytes Lorenz curve.
+  double gini = 0.0;
+  double bytes_gini = 0.0;
+  double busy_fraction = 0.0;
+  unsigned lp = 0;
+};
+
+SchemeRun RunScheme(tracking::PrefixScheme scheme, std::size_t nodes,
+                    std::size_t per_node, const CommonArgs& args) {
   auto config = ExperimentConfig(tracking::IndexingMode::kGroup, args.seed);
   config.scheme = scheme;
   tracking::TrackingSystem system(nodes, config);
-  lp = system.CurrentLp();
+  SchemeRun run;
+  run.lp = system.CurrentLp();
   workload::ExecuteScenario(system, PaperWorkload(nodes, per_node, true), args.seed);
   const auto loads = system.IndexLoadPerNode();
-  gini = util::GiniCoefficient(loads);
-  busy_fraction = util::NonZeroFraction(loads);
-  return util::LorenzCurve(loads, 10);
+  run.gini = util::GiniCoefficient(loads);
+  run.busy_fraction = util::NonZeroFraction(loads);
+  run.objects = util::LorenzCurve(loads, 10);
+  // Byte-level load: the objects-indexed measure treats a 1-object and a
+  // 1000-object GroupArrival as equal work; wire bytes received per actor
+  // expose the imbalance the message-count view hides.
+  const auto& bytes = system.metrics().ReceivedBytesPerActor();
+  run.bytes_gini = util::GiniCoefficient(bytes);
+  run.bytes = util::LorenzCurve(bytes, 10);
+  return run;
 }
 
 }  // namespace
@@ -46,42 +61,39 @@ int main(int argc, char** argv) {
                                             tracking::PrefixScheme::kLogNLogLogN,
                                             tracking::PrefixScheme::kTwoLogN};
 
-  std::vector<std::vector<util::LorenzPoint>> curves;
-  std::vector<double> ginis;
-  std::vector<double> busy;
-  std::vector<unsigned> lps;
+  std::vector<SchemeRun> runs;
   for (const auto scheme : schemes) {
-    double gini = 0.0;
-    double busy_fraction = 0.0;
-    unsigned lp = 0;
-    curves.push_back(RunScheme(scheme, nodes, per_node, args, gini, busy_fraction, lp));
-    ginis.push_back(gini);
-    busy.push_back(busy_fraction);
-    lps.push_back(lp);
+    runs.push_back(RunScheme(scheme, nodes, per_node, args));
   }
 
   util::Table table({"node %", "scheme1 load %", "scheme2 load %", "scheme3 load %",
                      "diagonal"});
   std::vector<std::vector<std::string>> csv_rows;
-  csv_rows.push_back({"node_pct", "scheme1", "scheme2", "scheme3"});
-  for (std::size_t p = 0; p < curves[0].size(); ++p) {
-    table.AddRow({util::FormatDouble(curves[0][p].node_fraction * 100, 0),
-                  util::FormatDouble(curves[0][p].load_fraction * 100, 1),
-                  util::FormatDouble(curves[1][p].load_fraction * 100, 1),
-                  util::FormatDouble(curves[2][p].load_fraction * 100, 1),
-                  util::FormatDouble(curves[0][p].node_fraction * 100, 0)});
-    csv_rows.push_back({util::FormatDouble(curves[0][p].node_fraction, 3),
-                        util::FormatDouble(curves[0][p].load_fraction, 4),
-                        util::FormatDouble(curves[1][p].load_fraction, 4),
-                        util::FormatDouble(curves[2][p].load_fraction, 4)});
+  csv_rows.push_back({"node_pct", "scheme1", "scheme2", "scheme3",
+                      "scheme1_bytes", "scheme2_bytes", "scheme3_bytes"});
+  for (std::size_t p = 0; p < runs[0].objects.size(); ++p) {
+    table.AddRow({util::FormatDouble(runs[0].objects[p].node_fraction * 100, 0),
+                  util::FormatDouble(runs[0].objects[p].load_fraction * 100, 1),
+                  util::FormatDouble(runs[1].objects[p].load_fraction * 100, 1),
+                  util::FormatDouble(runs[2].objects[p].load_fraction * 100, 1),
+                  util::FormatDouble(runs[0].objects[p].node_fraction * 100, 0)});
+    csv_rows.push_back({util::FormatDouble(runs[0].objects[p].node_fraction, 3),
+                        util::FormatDouble(runs[0].objects[p].load_fraction, 4),
+                        util::FormatDouble(runs[1].objects[p].load_fraction, 4),
+                        util::FormatDouble(runs[2].objects[p].load_fraction, 4),
+                        util::FormatDouble(runs[0].bytes[p].load_fraction, 4),
+                        util::FormatDouble(runs[1].bytes[p].load_fraction, 4),
+                        util::FormatDouble(runs[2].bytes[p].load_fraction, 4)});
   }
 
   Emit(util::Format("Fig 8a: load balance per prefix scheme ({} nodes, {} objects/node)",
                     nodes, per_node),
        table, csv_rows, args);
   for (std::size_t s = 0; s < 3; ++s) {
-    std::printf("Scheme %zu: Lp=%u  Gini=%.3f  nodes-with-load=%.1f%%\n", s + 1, lps[s],
-                ginis[s], busy[s] * 100.0);
+    std::printf("Scheme %zu: Lp=%u  Gini=%.3f  bytes-Gini=%.3f  "
+                "nodes-with-load=%.1f%%\n",
+                s + 1, runs[s].lp, runs[s].gini, runs[s].bytes_gini,
+                runs[s].busy_fraction * 100.0);
   }
   std::printf("Paper shape: Scheme 1 farthest from the diagonal (worst balance), "
               "Scheme 3 closest, Scheme 2 in between.\n");

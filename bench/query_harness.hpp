@@ -1,30 +1,47 @@
 #pragma once
 // Query-phase helpers shared by the Fig. 7 benches: run a batch of trace
 // queries on the P2P system and replay the same workload into the
-// centralized baseline.
+// centralized baseline. Durations feed an obs::Histogram so every bench
+// reports the same p50/p95/p99/max tail statistics.
 
 #include <vector>
 
 #include "bench_common.hpp"
 #include "central/central_tracker.hpp"
+#include "obs/registry.hpp"
 
 namespace peertrack::bench {
 
 struct QueryBatchStats {
   double mean_ms = 0.0;
+  double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
   std::size_t failures = 0;
   std::size_t count = 0;
 };
+
+inline QueryBatchStats StatsFromHistogram(const obs::Histogram& hist,
+                                          std::size_t failures) {
+  QueryBatchStats stats;
+  stats.mean_ms = hist.Mean();
+  stats.p50_ms = hist.P50();
+  stats.p95_ms = hist.P95();
+  stats.p99_ms = hist.P99();
+  stats.max_ms = hist.Max();
+  stats.failures = failures;
+  stats.count = static_cast<std::size_t>(hist.Count());
+  return stats;
+}
 
 /// Issue `count` trace queries ("Where has object oi been?") for uniformly
 /// random objects from uniformly random origin nodes; simulated durations.
 inline QueryBatchStats RunP2pTraceQueries(tracking::TrackingSystem& system,
                                           const std::vector<hash::UInt160>& objects,
                                           std::size_t count, util::Rng& rng) {
-  QueryBatchStats stats;
-  util::RunningStats durations;
-  util::Percentiles percentiles;
+  obs::Histogram durations;
+  std::size_t failures = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const auto& object = objects[rng.NextBelow(objects.size())];
     const auto origin = static_cast<std::size_t>(rng.NextBelow(system.NodeCount()));
@@ -36,16 +53,12 @@ inline QueryBatchStats RunP2pTraceQueries(tracking::TrackingSystem& system,
     });
     system.Run();
     if (!ok) {
-      ++stats.failures;
+      ++failures;
       continue;
     }
     durations.Add(duration);
-    percentiles.Add(duration);
   }
-  stats.mean_ms = durations.Mean();
-  stats.p95_ms = percentiles.Percentile(95.0);
-  stats.count = durations.Count();
-  return stats;
+  return StatsFromHistogram(durations, failures);
 }
 
 /// Replay every object's oracle trajectory into the centralized warehouse.
@@ -65,23 +78,18 @@ inline void MirrorIntoCentral(tracking::TrackingSystem& system,
 inline QueryBatchStats RunCentralTraceQueries(central::CentralTracker& central,
                                               const std::vector<hash::UInt160>& objects,
                                               std::size_t count, util::Rng& rng) {
-  QueryBatchStats stats;
-  util::RunningStats durations;
-  util::Percentiles percentiles;
+  obs::Histogram durations;
+  std::size_t failures = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const auto& object = objects[rng.NextBelow(objects.size())];
     const auto answer = central.Trace(object);
     if (answer.rows.empty()) {
-      ++stats.failures;
+      ++failures;
       continue;
     }
     durations.Add(answer.duration_ms);
-    percentiles.Add(answer.duration_ms);
   }
-  stats.mean_ms = durations.Mean();
-  stats.p95_ms = percentiles.Percentile(95.0);
-  stats.count = durations.Count();
-  return stats;
+  return StatsFromHistogram(durations, failures);
 }
 
 }  // namespace peertrack::bench

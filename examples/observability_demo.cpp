@@ -1,0 +1,96 @@
+// Observability demo: run a small tracked supply chain with causal tracing
+// and periodic metric sampling enabled, then export
+//   * a Chrome/Perfetto trace  (open at https://ui.perfetto.dev)
+//   * a time-series CSV/JSONL of counters, gauges, and latency percentiles.
+//
+//   ./observability_demo [--nodes=24] [--objects=40] [--queries=20]
+//                        [--loss=0.02] [--trace=trace.json]
+//                        [--series=metrics.csv] [--jsonl=metrics.jsonl]
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "peertrack.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+using namespace peertrack;
+
+int main(int argc, char** argv) {
+  const auto cli = util::Config::FromArgs(argc, argv);
+  const std::size_t nodes = cli.GetUInt("nodes", 24);
+  const std::size_t objects = cli.GetUInt("objects", 40);
+  const std::size_t queries = cli.GetUInt("queries", 20);
+  const double loss = cli.GetDouble("loss", 0.02);
+  const std::string trace_path = cli.GetString("trace", "trace.json");
+  const std::string series_path = cli.GetString("series", "metrics.csv");
+  const std::string jsonl_path = cli.GetString("jsonl", "metrics.jsonl");
+
+  tracking::SystemConfig config;
+  config.tracker.mode = tracking::IndexingMode::kGroup;
+  config.seed = cli.GetUInt("seed", 7);
+  tracking::TrackingSystem system(nodes, config);
+  system.network().SetLossRate(loss);
+  system.network().tracer().SetEnabled(true);
+
+  obs::TimeSeriesSampler sampler(system.simulator(), system.metrics());
+  sampler.Start(/*period_ms=*/1'000.0, /*until_ms=*/600'000.0);
+
+  // Move a fleet of tagged objects along random routes, then query them
+  // from random organizations — every query becomes one causal trace.
+  util::Rng rng(config.seed);
+  std::vector<hash::UInt160> keys;
+  for (std::size_t i = 0; i < objects; ++i) {
+    const auto key = hash::ObjectKey("epc:demo-" + std::to_string(i));
+    keys.push_back(key);
+    std::vector<std::uint32_t> route;
+    const std::size_t hops = 3 + rng.NextBelow(4);
+    for (std::size_t h = 0; h < hops; ++h) {
+      route.push_back(static_cast<std::uint32_t>(rng.NextBelow(nodes)));
+    }
+    workload::InjectTrajectory(system, key, route, 10.0 + 5.0 * static_cast<double>(i),
+                               2'000.0);
+  }
+  system.Run();
+  system.FlushAllWindows();
+
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const auto& key = keys[rng.NextBelow(keys.size())];
+    const auto origin = static_cast<std::uint32_t>(rng.NextBelow(nodes));
+    if (q % 2 == 0) {
+      system.TraceQuery(origin, key, [&](tracking::TrackerNode::TraceResult result) {
+        (result.ok ? ok : failed) += 1;
+      });
+    } else {
+      system.LocateQuery(origin, key, [&](tracking::TrackerNode::LocateResult result) {
+        (result.ok ? ok : failed) += 1;
+      });
+    }
+    system.Run();
+  }
+  sampler.SampleNow();  // Final sample at quiesce time.
+
+  const auto& tracer = system.network().tracer();
+  std::set<obs::TraceId> trace_ids;
+  for (const auto& span : tracer.Spans()) trace_ids.insert(span.trace_id);
+  std::printf("ran %zu queries (%zu ok, %zu failed) over %zu nodes, loss=%.1f%%\n",
+              ok + failed, ok, failed, nodes, loss * 100.0);
+  std::printf("captured %zu spans in %zu traces, %zu wire messages, "
+              "%zu series rows\n",
+              tracer.Spans().size(), trace_ids.size(), tracer.Messages().size(),
+              sampler.rows().size());
+  std::printf("%s\n", system.metrics().Summary().c_str());
+
+  if (!obs::PerfettoExporter::WriteFile(tracer, trace_path) ||
+      !sampler.WriteCsv(series_path) || !sampler.WriteJsonl(jsonl_path)) {
+    std::fprintf(stderr, "failed to write export files\n");
+    return 1;
+  }
+  std::printf("wrote %s (open at https://ui.perfetto.dev), %s, %s\n",
+              trace_path.c_str(), series_path.c_str(), jsonl_path.c_str());
+  return 0;
+}

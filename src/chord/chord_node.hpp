@@ -112,7 +112,14 @@ class ChordNode final : public sim::Actor {
   /// Resolve the successor of `key`. `hops` counts remote routing steps
   /// (0 when answered locally). On unrecoverable failure the callback gets
   /// an invalid NodeRef.
-  void Lookup(const Key& key, LookupCallback callback);
+  void Lookup(const Key& key, LookupCallback callback) {
+    Lookup(key, obs::TraceContext{}, std::move(callback));
+  }
+
+  /// Same, within a causal trace: the lookup opens a "chord.lookup" span
+  /// under `parent` (or as a new root when parent is invalid and tracing
+  /// is on) and every step RPC becomes a child attempt span.
+  void Lookup(const Key& key, const obs::TraceContext& parent, LookupCallback callback);
 
   /// One local routing decision for `key`: done (with the owner) or the
   /// next node to ask. Exposed so higher layers can drive their own
@@ -148,6 +155,7 @@ class ChordNode final : public sim::Actor {
     std::size_t retries = 0;
     NodeRef current;         ///< Hop currently being queried.
     rpc::CallId call = 0;    ///< In-flight step RPC.
+    obs::TraceContext span;  ///< "chord.lookup" span (invalid when untraced).
   };
 
   void RegisterHandlers();

@@ -79,43 +79,73 @@ void DhtNode::RegisterHandlers() {
 }
 
 void DhtNode::Put(const Key& key, std::string value, PutCallback callback) {
-  chord_.Lookup(key, [this, key, value = std::move(value),
-                      callback = std::move(callback)](const NodeRef& owner,
-                                                      std::size_t) mutable {
+  sim::Network& net = chord_.network();
+  obs::TraceContext ctx;
+  if (net.tracer().Enabled()) {
+    ctx = net.tracer().StartTrace("dht.put", chord_.Self().actor,
+                                  net.simulator().Now());
+  }
+  chord_.Lookup(key, ctx,
+                [this, key, ctx, value = std::move(value),
+                 callback = std::move(callback)](const NodeRef& owner,
+                                                 std::size_t) mutable {
+    sim::Network& net = chord_.network();
     if (!owner.Valid()) {
+      net.tracer().EndSpan(ctx, net.simulator().Now(), "lookup-failed");
       if (callback) callback(false);
       return;
     }
     auto request = std::make_unique<DhtPutRequest>();
     request->key = key;
     request->value = std::move(value);
+    request->trace = ctx;
     rpc_.Call<DhtPutAck>(
         owner.actor, std::move(request), policy_,
-        [callback = std::move(callback)](rpc::Status status,
-                                         std::unique_ptr<DhtPutAck>) mutable {
+        [this, ctx, callback = std::move(callback)](
+            rpc::Status status, std::unique_ptr<DhtPutAck>) mutable {
+          sim::Network& net = chord_.network();
+          net.tracer().EndSpan(ctx, net.simulator().Now(),
+                               status == rpc::Status::kOk ? "ok" : "timeout");
           if (callback) callback(status == rpc::Status::kOk);
         });
   });
 }
 
 void DhtNode::Get(const Key& key, GetCallback callback) {
-  chord_.Lookup(key, [this, key, callback = std::move(callback)](
-                         const NodeRef& owner, std::size_t) mutable {
+  sim::Network& net = chord_.network();
+  obs::TraceContext ctx;
+  if (net.tracer().Enabled()) {
+    ctx = net.tracer().StartTrace("dht.get", chord_.Self().actor,
+                                  net.simulator().Now());
+  }
+  chord_.Lookup(key, ctx,
+                [this, key, ctx, callback = std::move(callback)](
+                    const NodeRef& owner, std::size_t) mutable {
+    sim::Network& net = chord_.network();
     if (!owner.Valid()) {
+      net.tracer().EndSpan(ctx, net.simulator().Now(), "lookup-failed");
       if (callback) callback(false, "");
       return;
     }
     auto request = std::make_unique<DhtGetRequest>();
     request->key = key;
+    request->trace = ctx;
     rpc_.Call<DhtGetResponse>(
         owner.actor, std::move(request), policy_,
-        [callback = std::move(callback)](
+        [this, ctx, callback = std::move(callback)](
             rpc::Status status, std::unique_ptr<DhtGetResponse> response) mutable {
-          if (!callback) return;
+          sim::Network& net = chord_.network();
+          if (!callback) {
+            net.tracer().EndSpan(ctx, net.simulator().Now(), "ok");
+            return;
+          }
           if (status != rpc::Status::kOk) {
+            net.tracer().EndSpan(ctx, net.simulator().Now(), "timeout");
             callback(false, "");
             return;
           }
+          net.tracer().EndSpan(ctx, net.simulator().Now(),
+                               response->found ? "ok" : "not-found");
           callback(response->found, response->value);
         });
   });

@@ -13,14 +13,18 @@
 
 namespace peertrack::chord {
 
-void ChordNode::Lookup(const Key& key, LookupCallback callback) {
+void ChordNode::Lookup(const Key& key, const obs::TraceContext& parent,
+                       LookupCallback callback) {
   if (!alive_) {
     callback(NodeRef{}, 0);
     return;
   }
+  obs::Tracer& tracer = network_.tracer();
+  const double now = network_.simulator().Now();
   const RouteStep first = NextRouteStep(key);
   if (first.done) {
     network_.metrics().RecordLookupHops(0);
+    if (parent.Valid()) tracer.AddEvent(parent, "chord.lookup.local", self_.actor, now);
     callback(first.node, 0);
     return;
   }
@@ -28,6 +32,11 @@ void ChordNode::Lookup(const Key& key, LookupCallback callback) {
   PendingLookup pending;
   pending.key = key;
   pending.callback = std::move(callback);
+  if (tracer.Enabled()) {
+    pending.span = parent.Valid()
+                       ? tracer.StartSpan(parent, "chord.lookup", self_.actor, now)
+                       : tracer.StartTrace("chord.lookup", self_.actor, now);
+  }
   pending_lookups_.emplace(lookup_id, std::move(pending));
   LookupSendStep(lookup_id, first.node);
 }
@@ -47,8 +56,10 @@ void ChordNode::LookupSendStep(std::uint64_t lookup_id, const NodeRef& target) {
   ++pending.hops;
   pending.current = target;
 
+  const obs::ScopedLogTrace log_scope(pending.span);
   auto request = std::make_unique<LookupStepRequest>();
   request->key = pending.key;
+  request->trace = pending.span;
   pending.call = rpc_.Call<LookupStepResponse>(
       target.actor, std::move(request), options_.rpc,
       [this, lookup_id](rpc::Status status,
@@ -137,6 +148,8 @@ void ChordNode::FinishLookup(std::uint64_t lookup_id, const NodeRef& owner) {
   PendingLookup pending = std::move(it->second);
   pending_lookups_.erase(it);
   rpc_.Cancel(pending.call);
+  network_.tracer().EndSpan(pending.span, network_.simulator().Now(),
+                            owner.Valid() ? "ok" : "failed");
   if (owner.Valid()) network_.metrics().RecordLookupHops(pending.hops);
   pending.callback(owner, pending.hops);
 }

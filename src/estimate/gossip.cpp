@@ -59,11 +59,19 @@ void GossipAgent::DoRound() {
         peers_[static_cast<std::size_t>(rng_.NextBelow(peers_.size()))];
     auto request = std::make_unique<PushPullRequest>();
     request->value = value_;
+    obs::TraceContext span;
+    if (network_.tracer().Enabled()) {
+      span = network_.tracer().StartTrace("gossip.round", self_,
+                                          network_.simulator().Now());
+      request->trace = span;
+    }
     rpc_.Call<PushPullResponse>(
         peer, std::move(request), policy_,
-        [this](rpc::Status status, std::unique_ptr<PushPullResponse> pull) {
+        [this, span](rpc::Status status, std::unique_ptr<PushPullResponse> pull) {
           // The responder already averaged; adopt its result to conserve
           // mass. An exhausted exchange (down peer) leaves our value as-is.
+          network_.tracer().EndSpan(span, network_.simulator().Now(),
+                                    status == rpc::Status::kOk ? "ok" : "timeout");
           if (status == rpc::Status::kOk) value_ = pull->value;
         });
   }

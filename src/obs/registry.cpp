@@ -1,0 +1,117 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace peertrack::obs {
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  if (options_.min_bound <= 0.0) options_.min_bound = 0.01;
+  if (options_.buckets_per_octave == 0) options_.buckets_per_octave = 4;
+  if (options_.max_buckets < 2) options_.max_buckets = 2;
+  const double growth =
+      std::exp2(1.0 / static_cast<double>(options_.buckets_per_octave));
+  inv_log_growth_ = 1.0 / std::log(growth);
+  counts_.assign(options_.max_buckets, 0);
+}
+
+std::size_t Histogram::BucketIndexFor(double value) const noexcept {
+  if (value < options_.min_bound) return 0;
+  // value in [min * g^(i-1), min * g^i) => i = floor(log_g(value/min)) + 1.
+  const double octaves = std::log(value / options_.min_bound) * inv_log_growth_;
+  const auto index = static_cast<std::size_t>(octaves) + 1;
+  return std::min(index, counts_.size() - 1);
+}
+
+double Histogram::BucketLow(std::size_t bucket) const noexcept {
+  if (bucket == 0) return 0.0;
+  return options_.min_bound *
+         std::exp2(static_cast<double>(bucket - 1) /
+                   static_cast<double>(options_.buckets_per_octave));
+}
+
+double Histogram::BucketHigh(std::size_t bucket) const noexcept {
+  if (bucket + 1 >= counts_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options_.min_bound *
+         std::exp2(static_cast<double>(bucket) /
+                   static_cast<double>(options_.buckets_per_octave));
+}
+
+void Histogram::Add(double value) noexcept {
+  if (value < 0.0) value = 0.0;
+  ++counts_[BucketIndexFor(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank target, then linear interpolation inside the bucket.
+  const double target = std::max(1.0, std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t bucket = 0; bucket < counts_.size(); ++bucket) {
+    if (counts_[bucket] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[bucket];
+    if (static_cast<double>(cumulative) >= target) {
+      const double fraction =
+          (target - before) / static_cast<double>(counts_[bucket]);
+      const double low = BucketLow(bucket);
+      const double high = bucket + 1 >= counts_.size()
+                              ? max_  // overflow bucket: cap at observed max
+                              : BucketHigh(bucket);
+      const double value = low + fraction * (high - low);
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name, HistogramOptions options) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(options)).first->second;
+}
+
+std::uint64_t Registry::CounterValue(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.Value();
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const noexcept {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace peertrack::obs

@@ -1,0 +1,134 @@
+#pragma once
+// Typed metric instruments and the registry that names them.
+//
+// Replaces the ad-hoc `std::map<std::string, uint64>` counters that
+// sim::Metrics grew: protocol code asks the registry for a named Counter /
+// Gauge / Histogram once and bumps it directly. Histograms are
+// log-bucketed (geometric bucket bounds, a fixed number of sub-buckets per
+// octave) so one 128-bucket array covers sub-millisecond rpc attempts and
+// minute-long tail queries with bounded relative error, and p50/p95/p99
+// come straight out of the bucket counts — the paper's mean-only latency
+// reporting hides exactly the tail these expose.
+//
+// Instruments handed out by a Registry live as long as the registry and
+// never move (std::map nodes), so hot paths may cache the reference.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peertrack::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t by = 1) noexcept { value_ += by; }
+  std::uint64_t Value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) noexcept { value_ = value; }
+  double Value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Bucket layout of a log-bucketed histogram. Bucket 0 is the underflow
+/// bucket [0, min_bound); bucket i >= 1 covers
+/// [min_bound * growth^(i-1), min_bound * growth^i) where
+/// growth = 2^(1/buckets_per_octave). The last bucket absorbs overflow.
+struct HistogramOptions {
+  double min_bound = 0.01;           ///< Lower edge of bucket 1.
+  unsigned buckets_per_octave = 4;   ///< Sub-buckets per power of two
+                                     ///< (4 => <= ~9% relative error).
+  std::size_t max_buckets = 128;     ///< Total buckets incl. under/overflow.
+};
+
+/// Log-bucketed histogram with exact count/sum/min/max. Negative samples
+/// clamp to 0 (latencies and sizes are non-negative by construction).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void Add(double value) noexcept;
+
+  std::uint64_t Count() const noexcept { return count_; }
+  double Sum() const noexcept { return sum_; }
+  double Mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double Min() const noexcept { return count_ ? min_ : 0.0; }
+  double Max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Percentile estimate for p in [0, 100]: locate the bucket holding the
+  /// target rank and interpolate linearly inside it, clamped to the exact
+  /// observed [Min, Max]. Returns 0 when empty.
+  double Percentile(double p) const noexcept;
+  double P50() const noexcept { return Percentile(50.0); }
+  double P95() const noexcept { return Percentile(95.0); }
+  double P99() const noexcept { return Percentile(99.0); }
+
+  // --- Bucket introspection (tests / renderers) ---------------------------
+
+  std::size_t BucketCount() const noexcept { return counts_.size(); }
+  std::uint64_t BucketValue(std::size_t bucket) const noexcept { return counts_[bucket]; }
+  /// Index of the bucket `value` falls into.
+  std::size_t BucketIndexFor(double value) const noexcept;
+  /// Inclusive lower / exclusive upper bound of `bucket` (bucket 0 starts
+  /// at 0; the last bucket's upper bound is +inf).
+  double BucketLow(std::size_t bucket) const noexcept;
+  double BucketHigh(std::size_t bucket) const noexcept;
+
+  const HistogramOptions& options() const noexcept { return options_; }
+
+  void Reset() noexcept;
+
+ private:
+  HistogramOptions options_;
+  double inv_log_growth_ = 0.0;  ///< 1 / ln(growth), cached for BucketIndexFor.
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> instrument. Creation is implicit on first Get*; asking for an
+/// existing name returns the same instrument (options of later calls are
+/// ignored for histograms). Iteration is sorted by name so Summary/CSV
+/// output is stable.
+class Registry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, HistogramOptions options = {});
+
+  /// Value of a counter, 0 when it was never created.
+  std::uint64_t CounterValue(std::string_view name) const noexcept;
+  /// Histogram lookup without creation; nullptr when absent.
+  const Histogram* FindHistogram(std::string_view name) const noexcept;
+
+  const std::map<std::string, Counter, std::less<>>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  void Reset() { counters_.clear(); gauges_.clear(); histograms_.clear(); }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace peertrack::obs

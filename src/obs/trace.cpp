@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include "util/logging.hpp"
+
+namespace peertrack::obs {
+
+TraceContext Tracer::StartTrace(std::string_view name, std::uint32_t actor,
+                                double now_ms) {
+  if (!enabled_) return {};
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_++;
+  ctx.span_id = next_span_id_++;
+  SpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.span_id = ctx.span_id;
+  record.parent_id = 0;
+  record.name.assign(name);
+  record.actor = actor;
+  record.start_ms = now_ms;
+  record.end_ms = now_ms;
+  open_.emplace(ctx.span_id, spans_.size());
+  spans_.push_back(std::move(record));
+  return ctx;
+}
+
+TraceContext Tracer::StartSpan(const TraceContext& parent, std::string_view name,
+                               std::uint32_t actor, double now_ms) {
+  if (!enabled_ || !parent.Valid()) return {};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = next_span_id_++;
+  SpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.span_id = ctx.span_id;
+  record.parent_id = parent.span_id;
+  record.name.assign(name);
+  record.actor = actor;
+  record.start_ms = now_ms;
+  record.end_ms = now_ms;
+  open_.emplace(ctx.span_id, spans_.size());
+  spans_.push_back(std::move(record));
+  return ctx;
+}
+
+void Tracer::EndSpan(const TraceContext& ctx, double now_ms, std::string_view status) {
+  if (!ctx.Valid()) return;
+  const auto it = open_.find(ctx.span_id);
+  if (it == open_.end()) return;  // already closed (or recorded before a Clear)
+  SpanRecord& record = spans_[it->second];
+  record.end_ms = now_ms;
+  record.status.assign(status);
+  record.open = false;
+  open_.erase(it);
+}
+
+void Tracer::AddEvent(const TraceContext& ctx, std::string_view name,
+                      std::uint32_t actor, double now_ms) {
+  if (!enabled_ || !ctx.Valid()) return;
+  SpanRecord record;
+  record.trace_id = ctx.trace_id;
+  record.span_id = next_span_id_++;
+  record.parent_id = ctx.span_id;
+  record.name.assign(name);
+  record.actor = actor;
+  record.start_ms = now_ms;
+  record.end_ms = now_ms;
+  record.status = "ok";
+  record.open = false;
+  spans_.push_back(std::move(record));
+}
+
+void Tracer::RecordMessage(double now_ms, std::uint32_t from, std::uint32_t to,
+                           std::string_view type, std::size_t bytes,
+                           const TraceContext& trace) {
+  if (!enabled_) return;
+  MessageEvent event;
+  event.at_ms = now_ms;
+  event.from = from;
+  event.to = to;
+  event.type.assign(type);
+  event.bytes = bytes;
+  event.trace = trace;
+  messages_.push_back(std::move(event));
+}
+
+std::vector<const SpanRecord*> Tracer::SpansOf(TraceId trace) const {
+  std::vector<const SpanRecord*> result;
+  for (const SpanRecord& span : spans_) {
+    if (span.trace_id == trace) result.push_back(&span);
+  }
+  return result;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_.clear();
+  messages_.clear();
+}
+
+ScopedLogTrace::ScopedLogTrace(const TraceContext& ctx) {
+  if (!ctx.Valid()) return;
+  const auto [prev_trace, prev_span] = util::GetLogTrace();
+  prev_trace_ = prev_trace;
+  prev_span_ = prev_span;
+  util::SetLogTrace(ctx.trace_id, ctx.span_id);
+  set_ = true;
+}
+
+ScopedLogTrace::~ScopedLogTrace() {
+  if (set_) util::SetLogTrace(prev_trace_, prev_span_);
+}
+
+}  // namespace peertrack::obs

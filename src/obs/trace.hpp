@@ -1,0 +1,145 @@
+#pragma once
+// Causal query tracing.
+//
+// A TraceContext is a (trace id, span id) pair generated at a query's
+// origin and propagated on every wire message (sim::Message::trace) and
+// every rpc request/response. Protocol layers open spans around each
+// logical step — chord lookup, trace probe, IOP walk step, rpc attempt,
+// gateway read — so a completed L(o,t) / TR(o,t1,t2) query yields a
+// reconstructable causal span tree: which hops were taken, which attempts
+// were retried, and where the time went.
+//
+// The Tracer is owned by sim::Network (one per simulated timeline) and is
+// disabled by default: with tracing off, StartTrace returns an invalid
+// context and every other operation on invalid contexts is a cheap no-op,
+// so the big sweep benches pay nothing. Ids are sequential (deterministic
+// per simulation), not random — reruns with the same seed produce the same
+// tree.
+//
+// This header is self-contained (no sim/ includes): sim::Network embeds a
+// Tracer and sim::Message embeds a TraceContext, so obs must sit below sim
+// in the layering. Times are simulated milliseconds; actors are the raw
+// uint32 ids sim::Network hands out.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace peertrack::obs {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// Actor id used when a span has no owning actor (0xFFFFFFFF mirrors
+/// sim::kInvalidActor without depending on sim headers).
+constexpr std::uint32_t kNoActor = 0xFFFFFFFFu;
+
+/// Propagated context: which trace a message/span belongs to and which
+/// span caused it. trace_id 0 means "no context" (tracing disabled or the
+/// message is outside any traced operation).
+struct TraceContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+
+  bool Valid() const noexcept { return trace_id != 0; }
+};
+
+/// One completed (or still-open) span.
+struct SpanRecord {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+  SpanId parent_id = 0;  ///< 0 = root span of its trace.
+  std::string name;
+  std::uint32_t actor = kNoActor;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::string status;  ///< "ok", "timeout", "no-reply", ... ; empty = open.
+  bool open = true;
+};
+
+/// One message put on the wire while tracing was enabled (drives the
+/// per-actor activity rows of the Perfetto export).
+struct MessageEvent {
+  double at_ms = 0.0;
+  std::uint32_t from = kNoActor;
+  std::uint32_t to = kNoActor;
+  std::string type;
+  std::size_t bytes = 0;
+  TraceContext trace;  ///< Invalid when the message carried no context.
+};
+
+class Tracer {
+ public:
+  void SetEnabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool Enabled() const noexcept { return enabled_; }
+
+  /// Open a root span, starting a new trace. Returns an invalid context
+  /// (all downstream ops no-op) while the tracer is disabled.
+  TraceContext StartTrace(std::string_view name, std::uint32_t actor, double now_ms);
+
+  /// Open a child span of `parent`. No-op (invalid context) when disabled
+  /// or when `parent` is invalid — context validity propagates, so a chain
+  /// started outside tracing stays untraced end to end.
+  TraceContext StartSpan(const TraceContext& parent, std::string_view name,
+                         std::uint32_t actor, double now_ms);
+
+  /// Close the span identified by `ctx`. Safe to call on invalid contexts
+  /// and on already-closed spans (no-op), so cleanup paths need no guards.
+  void EndSpan(const TraceContext& ctx, double now_ms, std::string_view status = "ok");
+
+  /// Record a zero-duration child span of `ctx` (e.g. "gateway.read" on
+  /// the serving node). No-op when `ctx` is invalid.
+  void AddEvent(const TraceContext& ctx, std::string_view name, std::uint32_t actor,
+                double now_ms);
+
+  /// Record one wire message (called by sim::Network when enabled).
+  void RecordMessage(double now_ms, std::uint32_t from, std::uint32_t to,
+                     std::string_view type, std::size_t bytes,
+                     const TraceContext& trace);
+
+  // --- Inspection ---------------------------------------------------------
+
+  /// Every span recorded so far, in creation order (parents precede
+  /// children within a trace).
+  const std::vector<SpanRecord>& Spans() const noexcept { return spans_; }
+
+  /// Spans of one trace, in creation order.
+  std::vector<const SpanRecord*> SpansOf(TraceId trace) const;
+
+  const std::vector<MessageEvent>& Messages() const noexcept { return messages_; }
+
+  std::size_t OpenSpanCount() const noexcept { return open_.size(); }
+
+  /// Drop all recorded spans and messages (id counters keep advancing so
+  /// contexts from before the clear cannot collide with new ones).
+  void Clear();
+
+ private:
+  bool enabled_ = false;
+  TraceId next_trace_id_ = 1;
+  SpanId next_span_id_ = 1;
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<SpanId, std::size_t> open_;  ///< span id -> spans_ index
+  std::vector<MessageEvent> messages_;
+};
+
+/// RAII scope that stamps the active trace/span ids into util::Log* lines
+/// (see util::SetLogTrace). Restores the previous ambient ids on exit, so
+/// scopes nest. Constructing from an invalid context is a no-op.
+class ScopedLogTrace {
+ public:
+  explicit ScopedLogTrace(const TraceContext& ctx);
+  ~ScopedLogTrace();
+
+  ScopedLogTrace(const ScopedLogTrace&) = delete;
+  ScopedLogTrace& operator=(const ScopedLogTrace&) = delete;
+
+ private:
+  bool set_ = false;
+  std::uint64_t prev_trace_ = 0;
+  std::uint64_t prev_span_ = 0;
+};
+
+}  // namespace peertrack::obs

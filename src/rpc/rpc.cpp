@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/format.hpp"
+
 namespace peertrack::rpc {
 
 double RetryPolicy::TimeoutForAttempt(int attempt) const noexcept {
@@ -13,7 +15,7 @@ CallId RpcClient::StartCall(sim::ActorId to, std::unique_ptr<Request> request,
   const CallId id = next_call_id_++;
   request->call_id = id;
   auto [it, inserted] = pending_.emplace(
-      id, PendingCall{to, std::move(request), policy, 0, {}, std::move(callback)});
+      id, PendingCall{to, std::move(request), policy, 0, {}, std::move(callback), {}});
   (void)inserted;
   SendAttempt(id, it->second);
   return id;
@@ -22,7 +24,19 @@ CallId RpcClient::StartCall(sim::ActorId to, std::unique_ptr<Request> request,
 void RpcClient::SendAttempt(CallId id, PendingCall& call) {
   // Send a clone and keep the prototype: the network owns in-flight
   // messages, and a retry may overlap a still-travelling earlier attempt.
-  network_.Send(self_, call.to, call.request->CloneRequest());
+  std::unique_ptr<Request> attempt = call.request->CloneRequest();
+  obs::Tracer& tracer = network_.tracer();
+  if (tracer.Enabled() && call.request->trace.Valid()) {
+    // One span per wire attempt, parented on the caller's span; the
+    // attempt's context travels in the clone so server-side events nest
+    // under the attempt that actually reached them.
+    call.attempt_span = tracer.StartSpan(
+        call.request->trace,
+        util::Format("rpc.{}#{}", call.request->TypeName(), call.attempt),
+        self_, network_.simulator().Now());
+    attempt->trace = call.attempt_span;
+  }
+  network_.Send(self_, call.to, std::move(attempt));
   call.deadline = network_.simulator().ScheduleAfter(
       JitteredTimeout(call.policy, call.attempt), [this, id] { OnDeadline(id); });
 }
@@ -34,10 +48,14 @@ void RpcClient::OnDeadline(CallId id) {
   if (call.attempt + 1 < call.policy.max_attempts) {
     ++call.attempt;
     network_.metrics().RecordRpcRetry(call.request->TypeName());
+    network_.tracer().EndSpan(call.attempt_span, network_.simulator().Now(),
+                              "no-reply");
     SendAttempt(id, call);
     return;
   }
   network_.metrics().RecordRpcTimeout(call.request->TypeName());
+  network_.tracer().EndSpan(call.attempt_span, network_.simulator().Now(),
+                            "timeout");
   ErasedCallback callback = std::move(call.callback);
   // Erase before invoking: the callback may start new calls, cancel
   // others, or tear the client down via CancelAll.
@@ -49,6 +67,8 @@ void RpcClient::CompleteCall(std::unique_ptr<Response> response) {
   auto it = pending_.find(response->call_id);
   if (it == pending_.end()) return;  // late duplicate after retry or timeout
   it->second.deadline.Cancel();
+  network_.tracer().EndSpan(it->second.attempt_span, network_.simulator().Now(),
+                            "ok");
   ErasedCallback callback = std::move(it->second.callback);
   pending_.erase(it);
   if (callback) callback(Status::kOk, std::move(response));
@@ -58,11 +78,17 @@ void RpcClient::Cancel(CallId id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   it->second.deadline.Cancel();
+  network_.tracer().EndSpan(it->second.attempt_span, network_.simulator().Now(),
+                            "cancelled");
   pending_.erase(it);
 }
 
 void RpcClient::CancelAll() {
-  for (auto& [id, call] : pending_) call.deadline.Cancel();
+  const double now = network_.simulator().Now();
+  for (auto& [id, call] : pending_) {
+    call.deadline.Cancel();
+    network_.tracer().EndSpan(call.attempt_span, now, "cancelled");
+  }
   pending_.clear();
 }
 

@@ -15,6 +15,13 @@
 // One-way traffic (arrival reports, index update batches, replica pushes)
 // stays on plain Network::Send; only exchanges that semantically await an
 // answer go through RpcClient.
+//
+// Tracing: when the caller stamps a trace context on the request
+// (request->trace = span), every send attempt opens a child span
+// "rpc.<type>#<attempt>" under it — so retries show up as sibling attempt
+// spans in the query's causal tree — and the attempt's context is what
+// travels on the wire, giving server-side events the attempt as parent.
+// Responses echo the request's context back.
 
 #include <cstdint>
 #include <memory>
@@ -147,6 +154,7 @@ class RpcClient {
     int attempt = 0;
     sim::EventHandle deadline;
     ErasedCallback callback;
+    obs::TraceContext attempt_span;  ///< Span of the in-flight attempt.
   };
 
   CallId StartCall(sim::ActorId to, std::unique_ptr<Request> request,
@@ -181,9 +189,11 @@ class RpcServer {
         [this, h = std::move(handler)](sim::ActorId from,
                                        std::unique_ptr<Req> request) mutable {
           const CallId id = request->call_id;
+          const obs::TraceContext ctx = request->trace;
           std::unique_ptr<Response> response = h(from, std::move(request));
           if (!response) return;
           response->call_id = id;
+          response->trace = ctx;
           network_.Send(self_, from, std::move(response));
         });
   }

@@ -4,10 +4,25 @@
 
 namespace peertrack::sim {
 
-void Metrics::BumpPerActor(std::vector<std::uint64_t>& v, ActorId id) {
+namespace {
+
+/// Histogram layout for lookup hop counts: hops are small integers, so a
+/// fine min bound keeps every value in its own bucket.
+obs::HistogramOptions HopHistogramOptions() {
+  obs::HistogramOptions options;
+  options.min_bound = 1.0;
+  options.buckets_per_octave = 4;
+  options.max_buckets = 48;
+  return options;
+}
+
+}  // namespace
+
+void Metrics::BumpPerActor(std::vector<std::uint64_t>& v, ActorId id,
+                           std::uint64_t by) {
   if (id == kInvalidActor) return;
   if (v.size() <= id) v.resize(id + 1, 0);
-  ++v[id];
+  v[id] += by;
 }
 
 void Metrics::RecordMessage(std::string_view type, std::size_t bytes, ActorId from,
@@ -20,8 +35,10 @@ void Metrics::RecordMessage(std::string_view type, std::size_t bytes, ActorId fr
   }
   ++it->second.count;
   it->second.bytes += bytes;
-  BumpPerActor(sent_per_actor_, from);
-  BumpPerActor(received_per_actor_, to);
+  BumpPerActor(sent_per_actor_, from, 1);
+  BumpPerActor(received_per_actor_, to, 1);
+  BumpPerActor(sent_bytes_per_actor_, from, bytes);
+  BumpPerActor(received_bytes_per_actor_, to, bytes);
 }
 
 void Metrics::RecordDrop(std::string_view type, DropReason reason) {
@@ -44,8 +61,22 @@ void Metrics::RecordRpcTimeout(std::string_view type) {
   Bump(util::Format("rpc.timeout:{}", type));
 }
 
-void Metrics::Bump(const std::string& counter, std::uint64_t by) {
-  counters_[counter] += by;
+void Metrics::RecordLookupHops(std::size_t hops) {
+  lookup_hops_.Add(static_cast<double>(hops));
+  registry_.GetHistogram("chord.lookup_hops", HopHistogramOptions())
+      .Add(static_cast<double>(hops));
+}
+
+void Metrics::RecordLatency(std::string_view name, double ms) {
+  LatencyHistogram(name).Add(ms);
+}
+
+obs::Histogram& Metrics::LatencyHistogram(std::string_view name) {
+  return registry_.GetHistogram(util::Format("latency:{}", name));
+}
+
+void Metrics::Bump(std::string_view counter, std::uint64_t by) {
+  registry_.GetCounter(counter).Add(by);
 }
 
 Metrics::TypeCounter Metrics::ForType(std::string_view type) const {
@@ -54,8 +85,7 @@ Metrics::TypeCounter Metrics::ForType(std::string_view type) const {
 }
 
 std::uint64_t Metrics::Counter(std::string_view name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return registry_.CounterValue(name);
 }
 
 void Metrics::Reset() { *this = Metrics{}; }
@@ -74,8 +104,18 @@ std::string Metrics::Summary() const {
     out += util::Format("  lookup hops: mean={:.2f} max={:.0f} n={}\n",
                        lookup_hops_.Mean(), lookup_hops_.Max(), lookup_hops_.Count());
   }
-  for (const auto& [name, value] : counters_) {
-    out += util::Format("  counter {:<22} {}\n", name, value);
+  for (const auto& [name, value] : registry_.counters()) {
+    out += util::Format("  counter {:<22} {}\n", name, value.Value());
+  }
+  for (const auto& [name, gauge] : registry_.gauges()) {
+    out += util::Format("  gauge {:<24} {:.3f}\n", name, gauge.Value());
+  }
+  for (const auto& [name, histogram] : registry_.histograms()) {
+    if (histogram.Count() == 0) continue;
+    out += util::Format(
+        "  hist {:<25} n={} p50={:.2f} p95={:.2f} p99={:.2f} max={:.2f}\n", name,
+        histogram.Count(), histogram.P50(), histogram.P95(), histogram.P99(),
+        histogram.Max());
   }
   return out;
 }
@@ -94,8 +134,25 @@ std::vector<std::vector<std::string>> Metrics::CsvRows() const {
     rows.push_back({util::Format("count:{}", type), std::to_string(counter.count)});
     rows.push_back({util::Format("bytes:{}", type), std::to_string(counter.bytes)});
   }
-  for (const auto& [name, value] : counters_) {
-    rows.push_back({util::Format("counter:{}", name), std::to_string(value)});
+  for (const auto& [name, value] : registry_.counters()) {
+    rows.push_back({util::Format("counter:{}", name), std::to_string(value.Value())});
+  }
+  for (const auto& [name, gauge] : registry_.gauges()) {
+    rows.push_back({util::Format("gauge:{}", name),
+                    util::Format("{:.6f}", gauge.Value())});
+  }
+  for (const auto& [name, histogram] : registry_.histograms()) {
+    if (histogram.Count() == 0) continue;
+    rows.push_back({util::Format("hist:{}:count", name),
+                    std::to_string(histogram.Count())});
+    rows.push_back({util::Format("hist:{}:p50", name),
+                    util::Format("{:.4f}", histogram.P50())});
+    rows.push_back({util::Format("hist:{}:p95", name),
+                    util::Format("{:.4f}", histogram.P95())});
+    rows.push_back({util::Format("hist:{}:p99", name),
+                    util::Format("{:.4f}", histogram.P99())});
+    rows.push_back({util::Format("hist:{}:max", name),
+                    util::Format("{:.4f}", histogram.Max())});
   }
   return rows;
 }

@@ -5,14 +5,23 @@
 // volume of messages transferred over the network" (Section V-A); queries
 // are measured in simulated milliseconds. Metrics centralizes both: the
 // network layer records every remote message (count + bytes, per type and
-// per actor), and protocol layers record lookup hop counts and named
-// counters through the same object, so every bench reads cost identically.
+// per actor), and protocol layers record hop counts, named counters, and
+// latency samples through the same object, so every bench reads cost
+// identically.
+//
+// Named counters and latency distributions live in an obs::Registry of
+// typed instruments (Counter / Gauge / log-bucketed Histogram with
+// p50/p95/p99), replacing the ad-hoc string->uint64 map this class used to
+// keep. Summary() and CsvRows() render the same surface as before on top
+// of the registry, and obs::TimeSeriesSampler can snapshot the whole
+// registry into time-series rows during a run.
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/stats.hpp"
 
 namespace peertrack::sim {
@@ -47,11 +56,15 @@ class Metrics {
   void RecordRpcTimeout(std::string_view type);
 
   /// Record the hop count of one completed DHT lookup.
-  void RecordLookupHops(std::size_t hops) { lookup_hops_.Add(static_cast<double>(hops)); }
+  void RecordLookupHops(std::size_t hops);
+
+  /// Record a latency sample (simulated ms) into the histogram named
+  /// `latency:<name>` — e.g. RecordLatency("query.trace_ms", 37.0).
+  void RecordLatency(std::string_view name, double ms);
 
   /// Bump a named counter (protocol-level events that are not messages,
   /// e.g. "window_flush", "triangle_split").
-  void Bump(const std::string& counter, std::uint64_t by = 1);
+  void Bump(std::string_view counter, std::uint64_t by = 1);
 
   std::uint64_t TotalMessages() const noexcept { return total_messages_; }
   std::uint64_t TotalBytes() const noexcept { return total_bytes_; }
@@ -73,9 +86,16 @@ class Metrics {
   }
 
   std::uint64_t Counter(std::string_view name) const;
-  const std::map<std::string, std::uint64_t, std::less<>>& Counters() const noexcept {
-    return counters_;
-  }
+
+  /// The instrument registry backing named counters and latency
+  /// histograms. Protocol layers and benches may register their own
+  /// instruments here; the time-series sampler snapshots all of them.
+  obs::Registry& registry() noexcept { return registry_; }
+  const obs::Registry& registry() const noexcept { return registry_; }
+
+  /// Latency histogram named `latency:<name>` (created on first use; same
+  /// instrument RecordLatency feeds).
+  obs::Histogram& LatencyHistogram(std::string_view name);
 
   const util::RunningStats& LookupHops() const noexcept { return lookup_hops_; }
 
@@ -87,6 +107,15 @@ class Metrics {
   const std::vector<std::uint64_t>& SentPerActor() const noexcept {
     return sent_per_actor_;
   }
+  /// Wire bytes received / sent per actor (same indexing). Byte-level load
+  /// is what the paper's Fig. 8 balance argument is really about: one
+  /// GroupArrival message can carry 1 or 1000 objects.
+  const std::vector<std::uint64_t>& ReceivedBytesPerActor() const noexcept {
+    return received_bytes_per_actor_;
+  }
+  const std::vector<std::uint64_t>& SentBytesPerActor() const noexcept {
+    return sent_bytes_per_actor_;
+  }
 
   /// Zero everything (used between warm-up and measured phases).
   void Reset();
@@ -95,12 +124,14 @@ class Metrics {
   std::string Summary() const;
 
   /// The same data as rows for util::CsvWriter: a header row followed by
-  /// one ("metric", "value") row per total, per-type counter, and named
-  /// counter. Benches append these to their sweep CSVs.
+  /// one ("metric", "value") row per total, per-type counter, named
+  /// counter, gauge, and histogram statistic. Benches append these to
+  /// their sweep CSVs.
   std::vector<std::vector<std::string>> CsvRows() const;
 
  private:
-  static void BumpPerActor(std::vector<std::uint64_t>& v, ActorId id);
+  static void BumpPerActor(std::vector<std::uint64_t>& v, ActorId id,
+                           std::uint64_t by);
 
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
@@ -109,10 +140,12 @@ class Metrics {
   std::uint64_t rpc_retries_ = 0;
   std::uint64_t rpc_timeouts_ = 0;
   std::map<std::string, TypeCounter, std::less<>> by_type_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  obs::Registry registry_;
   util::RunningStats lookup_hops_;
   std::vector<std::uint64_t> received_per_actor_;
   std::vector<std::uint64_t> sent_per_actor_;
+  std::vector<std::uint64_t> received_bytes_per_actor_;
+  std::vector<std::uint64_t> sent_bytes_per_actor_;
 };
 
 }  // namespace peertrack::sim

@@ -32,8 +32,12 @@ void Network::Send(ActorId from, ActorId to, std::unique_ptr<Message> message) {
   double delay = 0.0;
   if (from != to) {
     delay = latency_.Sample(rng_);
-    metrics_.RecordMessage(message->TypeName(),
-                           kMessageHeaderBytes + message->ApproxBytes(), from, to);
+    const std::size_t bytes = kMessageHeaderBytes + message->ApproxBytes();
+    metrics_.RecordMessage(message->TypeName(), bytes, from, to);
+    if (tracer_.Enabled()) {
+      tracer_.RecordMessage(simulator_.Now(), from, to, message->TypeName(), bytes,
+                            message->trace);
+    }
     if (loss_rate_ > 0.0 && rng_.NextBool(loss_rate_)) {
       metrics_.RecordDrop(message->TypeName(), Metrics::DropReason::kLoss);
       return;  // Lost on the wire; the sender still paid for it.
@@ -56,8 +60,12 @@ void Network::SendInstant(ActorId from, ActorId to, std::unique_ptr<Message> mes
     return;
   }
   if (from != to) {
-    metrics_.RecordMessage(message->TypeName(),
-                           kMessageHeaderBytes + message->ApproxBytes(), from, to);
+    const std::size_t bytes = kMessageHeaderBytes + message->ApproxBytes();
+    metrics_.RecordMessage(message->TypeName(), bytes, from, to);
+    if (tracer_.Enabled()) {
+      tracer_.RecordMessage(simulator_.Now(), from, to, message->TypeName(), bytes,
+                            message->trace);
+    }
   }
   Slot& slot = actors_[to];
   if (!slot.up || slot.actor == nullptr) {

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/latency_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -54,6 +55,14 @@ class Message {
   virtual MsgTypeId TypeId() const noexcept = 0;
   virtual std::string_view TypeName() const noexcept = 0;
   virtual std::size_t ApproxBytes() const noexcept = 0;
+
+  /// Causal trace context this message belongs to (invalid when tracing is
+  /// off or the message is outside any traced operation). Copied along by
+  /// rpc retries and envelope forwarding; not counted in ApproxBytes —
+  /// real deployments ship ~16 bytes of trace header, but charging it
+  /// would skew the paper-comparison byte metric with an artifact of our
+  /// instrumentation.
+  obs::TraceContext trace;
 };
 
 /// CRTP helper wiring a concrete message class to its type id:
@@ -103,6 +112,11 @@ class Network {
 
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
+  /// Span recorder for causal query tracing (disabled by default; enable
+  /// with tracer().SetEnabled(true)). Remote sends are logged as per-actor
+  /// message events while enabled.
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
   Simulator& simulator() noexcept { return simulator_; }
   util::Rng& rng() noexcept { return rng_; }
 
@@ -116,6 +130,7 @@ class Network {
   LatencyModel& latency_;
   util::Rng& rng_;
   Metrics metrics_;
+  obs::Tracer tracer_;
   double loss_rate_ = 0.0;
   std::vector<Slot> actors_;
 };

@@ -23,6 +23,11 @@ void FloodingQueryEngine::Query(const chord::Key& object, Callback callback) {
   pending.object = object;
   pending.callback = std::move(callback);
   pending.issued_at = network_.simulator().Now();
+  if (network_.tracer().Enabled()) {
+    pending.span =
+        network_.tracer().StartTrace("query.flood", self_.actor, pending.issued_at);
+  }
+  const obs::TraceContext span = pending.span;
 
   // Local visits count immediately.
   if (const auto* visits = iop_.VisitsOf(object)) {
@@ -38,6 +43,7 @@ void FloodingQueryEngine::Query(const chord::Key& object, Callback callback) {
     if (peer.actor == self_.actor) continue;
     auto probe = std::make_unique<FloodProbe>();
     probe->object = object;
+    probe->trace = span;
     rpc_.Call<FloodReply>(
         peer.actor, std::move(probe), policy_,
         [this, query_id, peer](rpc::Status status,
@@ -76,6 +82,10 @@ void FloodingQueryEngine::Finish(std::uint64_t query_id) {
 
   Result result;
   result.ok = !pending.collected.empty();
+  network_.tracer().EndSpan(pending.span, network_.simulator().Now(),
+                            result.ok ? "ok" : "not-found");
+  network_.metrics().RecordLatency("query.flood_ms",
+                                   network_.simulator().Now() - pending.issued_at);
   result.path = std::move(pending.collected);
   std::sort(result.path.begin(), result.path.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });

@@ -91,6 +91,7 @@ class FloodingQueryEngine {
     std::size_t awaiting = 0;
     std::size_t messages = 0;
     std::vector<std::pair<chord::NodeRef, moods::Time>> collected;
+    obs::TraceContext span;  ///< Root "query.flood" span (invalid untraced).
   };
 
   void OnPeerDone(std::uint64_t query_id);

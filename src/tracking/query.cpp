@@ -14,6 +14,7 @@
 // so far (walk phase) — queries never hang on loss or dead nodes.
 
 #include "tracking/tracker_node.hpp"
+#include "util/format.hpp"
 #include "util/logging.hpp"
 
 namespace peertrack::tracking {
@@ -47,6 +48,13 @@ void TrackerNode::LocateQuery(const hash::UInt160& object, LocateCallback callba
 void TrackerNode::StartQuery(const hash::UInt160& object, PendingQuery query) {
   query.target = RoutingTargetFor(config_.mode, object, CurrentLp());
   query.issued_at = chord_.network().simulator().Now();
+  obs::Tracer& tracer = chord_.network().tracer();
+  if (tracer.Enabled()) {
+    query.span = tracer.StartTrace(
+        query.locate_only ? "query.locate" : "query.trace", Self().actor,
+        query.issued_at);
+  }
+  const obs::ScopedLogTrace log_scope(query.span);
   const std::uint64_t query_id = next_query_id_++;
   if (config_.query_timeout_ms > 0.0) {
     query.timeout = chord_.network().simulator().ScheduleAfter(
@@ -63,12 +71,15 @@ void TrackerNode::StartQuery(const hash::UInt160& object, PendingQuery query) {
   if (!query.locate_only && iop_.Knows(object)) {
     const auto* visits = iop_.VisitsOf(object);
     const moods::Time arrived = visits->back().arrived;
+    tracer.AddEvent(query.span, "iop.local", Self().actor, query.issued_at);
     queries_.emplace(query_id, std::move(query));
     BeginWalk(query_id, Self(), arrived);
     return;
   }
   // Local gateway: the issuing node may own the target key.
   if (chord_.Owns(query.target)) {
+    tracer.AddEvent(query.span, "gateway.read.local", Self().actor,
+                    query.issued_at);
     const IndexEntry* entry = config_.mode == IndexingMode::kIndividual
                                   ? individual_.Find(object)
                                   : TriangleLookup(object, CurrentLp());
@@ -108,10 +119,18 @@ void TrackerNode::ProbeStep(std::uint64_t query_id, const chord::NodeRef& target
   ++query.probe_steps;
   query.probe_current = target_node;
 
+  obs::Tracer& tracer = chord_.network().tracer();
+  if (tracer.Enabled() && query.span.Valid()) {
+    query.stage = tracer.StartSpan(
+        query.span, util::Format("query.probe#{}", query.probe_steps),
+        Self().actor, chord_.network().simulator().Now());
+  }
+  const obs::ScopedLogTrace log_scope(query.span);
   auto probe = std::make_unique<TraceProbe>();
   probe->object = query.object;
   probe->routing_target = query.target;
   probe->allow_intercept = !query.locate_only;
+  probe->trace = query.stage;
   query.call = rpc_.Call<TraceProbeReply>(
       target_node.actor, std::move(probe), config_.rpc,
       [this, query_id](rpc::Status status,
@@ -126,12 +145,16 @@ void TrackerNode::ProbeStep(std::uint64_t query_id, const chord::NodeRef& target
 
 std::unique_ptr<TraceProbeReply> TrackerNode::HandleProbe(const TraceProbe& probe) {
   auto reply = std::make_unique<TraceProbeReply>();
+  obs::Tracer& tracer = chord_.network().tracer();
+  const double now = chord_.network().simulator().Now();
+  const obs::ScopedLogTrace log_scope(probe.trace);
 
   if (probe.allow_intercept && iop_.Knows(probe.object)) {
     const auto* visits = iop_.VisitsOf(probe.object);
     reply->kind = TraceProbeReply::Kind::kHasIop;
     reply->node = Self();
     reply->arrived = visits->back().arrived;
+    tracer.AddEvent(probe.trace, "iop.intercept", Self().actor, now);
   } else if (chord_.Owns(probe.routing_target)) {
     const IndexEntry* entry = config_.mode == IndexingMode::kIndividual
                                   ? individual_.Find(probe.object)
@@ -146,8 +169,10 @@ std::unique_ptr<TraceProbeReply> TrackerNode::HandleProbe(const TraceProbe& prob
       reply->kind = TraceProbeReply::Kind::kGatewayHit;
       reply->node = entry->latest_node;
       reply->arrived = entry->latest_arrived;
+      tracer.AddEvent(probe.trace, "gateway.read", Self().actor, now);
     } else {
       reply->kind = TraceProbeReply::Kind::kNotFound;
+      tracer.AddEvent(probe.trace, "gateway.miss", Self().actor, now);
     }
   } else {
     const auto step = chord_.NextRouteStep(probe.routing_target);
@@ -168,6 +193,27 @@ void TrackerNode::HandleProbeReply(std::uint64_t query_id,
   auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   PendingQuery& query = it->second;
+
+  {
+    obs::Tracer& tracer = chord_.network().tracer();
+    const double now = chord_.network().simulator().Now();
+    switch (reply.kind) {
+      case TraceProbeReply::Kind::kNextHop:
+        tracer.EndSpan(query.stage, now, "next-hop");
+        break;
+      case TraceProbeReply::Kind::kNotFound:
+        tracer.EndSpan(query.stage, now, "not-found");
+        break;
+      case TraceProbeReply::Kind::kHasIop:
+        tracer.EndSpan(query.stage, now, "iop-hit");
+        break;
+      case TraceProbeReply::Kind::kGatewayHit:
+        tracer.EndSpan(query.stage, now, "gateway-hit");
+        break;
+    }
+    query.stage = obs::TraceContext{};
+  }
+  const obs::ScopedLogTrace log_scope(query.span);
 
   switch (reply.kind) {
     case TraceProbeReply::Kind::kNextHop:
@@ -197,10 +243,15 @@ void TrackerNode::HandleProbeReply(std::uint64_t query_id,
 }
 
 void TrackerNode::HandleProbeTimeout(std::uint64_t query_id) {
-  if (!queries_.contains(query_id)) return;
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
   // The probed hop exhausted its RPC retries (down node or persistent
   // loss). The routing walk cannot continue past it; fail fast to the
   // caller rather than waiting for the global safety timer.
+  chord_.network().tracer().EndSpan(it->second.stage,
+                                    chord_.network().simulator().Now(),
+                                    "timeout");
+  it->second.stage = obs::TraceContext{};
   chord_.network().metrics().Bump("track.probe_timeout");
   FinishQuery(query_id, false);
 }
@@ -222,10 +273,19 @@ void TrackerNode::WalkStep(std::uint64_t query_id) {
   if (it == queries_.end()) return;
   PendingQuery& query = it->second;
 
+  obs::Tracer& tracer = chord_.network().tracer();
+  if (tracer.Enabled() && query.span.Valid()) {
+    query.stage = tracer.StartSpan(
+        query.span,
+        query.walking_backward ? "query.walk.back" : "query.walk.fwd",
+        Self().actor, chord_.network().simulator().Now());
+  }
+  const obs::ScopedLogTrace log_scope(query.span);
   auto request = std::make_unique<IopWalkRequest>();
   request->object = query.object;
   request->arrived =
       query.walking_backward ? query.walk_arrived : query.forward_arrived;
+  request->trace = query.stage;
   const chord::NodeRef& target =
       query.walking_backward ? query.walk_node : query.forward_node;
   query.call = rpc_.Call<IopWalkResponse>(
@@ -243,6 +303,9 @@ void TrackerNode::WalkStep(std::uint64_t query_id) {
 std::unique_ptr<IopWalkResponse> TrackerNode::HandleWalkRequest(
     const IopWalkRequest& request) {
   auto response = std::make_unique<IopWalkResponse>();
+  const obs::ScopedLogTrace log_scope(request.trace);
+  chord_.network().tracer().AddEvent(request.trace, "iop.read", Self().actor,
+                                     chord_.network().simulator().Now());
   const moods::Visit* visit = iop_.VisitAt(request.object, request.arrived);
   if (visit == nullptr) {
     // Arrival-time mismatch (e.g. in-flight M3): fall back to the nearest
@@ -276,6 +339,12 @@ void TrackerNode::HandleWalkResponse(std::uint64_t query_id,
   auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
   PendingQuery& query = it->second;
+
+  chord_.network().tracer().EndSpan(query.stage,
+                                    chord_.network().simulator().Now(),
+                                    response.found ? "ok" : "dead-link");
+  query.stage = obs::TraceContext{};
+  const obs::ScopedLogTrace log_scope(query.span);
 
   if (!response.found) {
     // Dead link: complete with what was collected so far.
@@ -333,6 +402,10 @@ void TrackerNode::HandleWalkTimeout(std::uint64_t query_id) {
   PendingQuery& query = it->second;
   // The walked node exhausted its RPC retries — treat it like a dead link
   // and degrade gracefully with the steps collected so far.
+  chord_.network().tracer().EndSpan(query.stage,
+                                    chord_.network().simulator().Now(),
+                                    "timeout");
+  query.stage = obs::TraceContext{};
   chord_.network().metrics().Bump("track.walk_timeout");
   if (query.walking_backward && query.forward_pending) {
     query.walking_backward = false;
@@ -351,6 +424,13 @@ void TrackerNode::FinishQuery(std::uint64_t query_id, bool ok) {
   rpc_.Cancel(query.call);
 
   const moods::Time now = chord_.network().simulator().Now();
+  obs::Tracer& tracer = chord_.network().tracer();
+  tracer.EndSpan(query.stage, now, "cancelled");
+  tracer.EndSpan(query.span, now, ok ? "ok" : "failed");
+  chord_.network().metrics().RecordLatency(
+      query.locate_only ? "query.locate_ms" : "query.trace_ms",
+      now - query.issued_at);
+  const obs::ScopedLogTrace log_scope(query.span);
   if (query.locate_only) {
     LocateResult result;
     result.ok = ok && !query.steps.empty();

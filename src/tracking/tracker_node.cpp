@@ -86,6 +86,14 @@ void TrackerNode::IndexIndividually(const hash::UInt160& object, moods::Time at)
   report->object = object;
   report->at = Self();
   report->arrived = at;
+  obs::Tracer& tracer = chord_.network().tracer();
+  if (tracer.Enabled()) {
+    // Zero-length root marker: the id rides the M1 → M2/M3/replica chain,
+    // so the one-way indexing fan-out reconstructs as one causal trace.
+    const double now = chord_.network().simulator().Now();
+    report->trace = tracer.StartTrace("index.m1", Self().actor, now);
+    tracer.EndSpan(report->trace, now);
+  }
   RoutedSend(object, std::move(report));
 }
 
@@ -113,11 +121,17 @@ void TrackerNode::FlushWindow() {
   window_timer_.Cancel();
   auto groups = window_.CloseAndGroup(CurrentLp());
   chord_.network().metrics().Bump("track.window_flush");
+  obs::Tracer& tracer = chord_.network().tracer();
   for (auto& [prefix, members] : groups) {
     auto report = std::make_unique<GroupArrival>();
     report->prefix = prefix;
     report->at = Self();
     report->objects = std::move(members);
+    if (tracer.Enabled()) {
+      const double now = chord_.network().simulator().Now();
+      report->trace = tracer.StartTrace("index.m1", Self().actor, now);
+      tracer.EndSpan(report->trace, now);
+    }
     RoutedSend(hash::GroupKey(prefix), std::move(report));
   }
 }
@@ -132,6 +146,7 @@ void TrackerNode::RoutedSend(const chord::Key& target,
   }
   auto envelope = std::make_unique<RoutedEnvelope>();
   envelope->target = target;
+  envelope->trace = inner->trace;
   envelope->inner = std::move(inner);
   const auto step = chord_.NextRouteStep(target);
   chord_.network().Send(Self().actor, step.node.actor, std::move(envelope));
@@ -163,9 +178,11 @@ void TrackerNode::DispatchInner(std::unique_ptr<sim::Message> inner) {
 
 void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
   ++objects_indexed_;
+  const obs::ScopedLogTrace log_scope(arrival.trace);
   const IndexEntry* previous = individual_.Find(arrival.object);
 
   auto m3 = std::make_unique<IopFromUpdate>();
+  m3->trace = arrival.trace;
   IopFromUpdate::Item item;
   item.object = arrival.object;
   item.arrived = arrival.arrived;
@@ -173,6 +190,7 @@ void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
     item.from = previous->latest_node;
     item.from_arrived = previous->latest_arrived;
     auto m2 = std::make_unique<IopToUpdate>();
+    m2->trace = arrival.trace;
     m2->items.push_back({arrival.object, arrival.at, arrival.arrived});
     chord_.network().Send(Self().actor, previous->latest_node.actor, std::move(m2));
   } else if (previous != nullptr) {
@@ -187,13 +205,15 @@ void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
   if (previous == nullptr || previous->latest_arrived <= arrival.arrived) {
     individual_.Upsert(arrival.object, IndexEntry{arrival.at, arrival.arrived});
     if (config_.replicate_index) {
-      ReplicateEntries({{arrival.object, arrival.at, arrival.arrived}});
+      ReplicateEntries({{arrival.object, arrival.at, arrival.arrived}},
+                       arrival.trace);
     }
   }
 }
 
 void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
   objects_indexed_ += arrival.objects.size();
+  const obs::ScopedLogTrace log_scope(arrival.trace);
   chord_.network().metrics().Bump("track.group_handled");
   PrefixBucket& bucket = store_.BucketFor(arrival.prefix);
 
@@ -217,6 +237,7 @@ void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
   // Figure 5, `update_index` + the batched M2/M3 exchange: one IopToUpdate
   // per distinct previous node, one IopFromUpdate back to the capturer.
   auto m3 = std::make_unique<IopFromUpdate>();
+  m3->trace = arrival.trace;
   std::map<sim::ActorId, std::unique_ptr<IopToUpdate>> m2_batches;
   for (const auto& [object, arrived] : arrival.objects) {
     const IndexEntry* previous = bucket.Find(object);
@@ -227,7 +248,10 @@ void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
       item.from = previous->latest_node;
       item.from_arrived = previous->latest_arrived;
       auto& batch = m2_batches[previous->latest_node.actor];
-      if (!batch) batch = std::make_unique<IopToUpdate>();
+      if (!batch) {
+        batch = std::make_unique<IopToUpdate>();
+        batch->trace = arrival.trace;
+      }
       batch->items.push_back({object, arrival.at, arrived});
     } else if (previous != nullptr) {
       chord_.network().metrics().Bump("track.stale_arrival");
@@ -250,18 +274,20 @@ void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
         items.push_back({object, entry->latest_node, entry->latest_arrived});
       }
     }
-    ReplicateEntries(items);
+    ReplicateEntries(items, arrival.trace);
   }
 
   if (config_.enable_triangle) MaybeDelegate(arrival.prefix, bucket);
 }
 
-void TrackerNode::ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items) {
+void TrackerNode::ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items,
+                                   const obs::TraceContext& ctx) {
   if (items.empty()) return;
   const chord::NodeRef successor = chord_.Successor();
   if (successor.actor == Self().actor) return;  // Single-node ring.
   auto update = std::make_unique<ReplicaUpdate>();
   update->items = items;
+  update->trace = ctx;
   chord_.network().Send(Self().actor, successor.actor, std::move(update));
 }
 

@@ -222,8 +222,10 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   void HandleIopTo(const IopToUpdate& update);
   void HandleIopFrom(const IopFromUpdate& update);
   void HandleReplica(const ReplicaUpdate& update);
-  /// Mirror freshly-updated entries to the ring successor.
-  void ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items);
+  /// Mirror freshly-updated entries to the ring successor. `ctx` is the
+  /// originating index trace (invalid when untraced).
+  void ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items,
+                        const obs::TraceContext& ctx);
   /// Replica fall-through used by gateway lookups after a crash.
   const IndexEntry* ReplicaLookup(const hash::UInt160& object) const {
     return replica_.Find(object);
@@ -269,6 +271,8 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
     moods::Time forward_arrived = 0.0;
     rpc::CallId call = 0;  ///< In-flight probe/walk RPC.
     sim::EventHandle timeout;
+    obs::TraceContext span;   ///< Root "query.trace"/"query.locate" span.
+    obs::TraceContext stage;  ///< Current probe/walk stage span.
   };
   void RegisterHandlers();
   void StartQuery(const hash::UInt160& object, PendingQuery query);

@@ -11,6 +11,9 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 std::mutex g_emit_mutex;
 
+thread_local std::uint64_t g_trace_id = 0;
+thread_local std::uint64_t g_span_id = 0;
+
 constexpr std::string_view LevelTag(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::Trace: return "TRACE";
@@ -45,6 +48,15 @@ LogLevel GetLogLevel() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void SetLogTrace(std::uint64_t trace_id, std::uint64_t span_id) noexcept {
+  g_trace_id = trace_id;
+  g_span_id = span_id;
+}
+
+std::pair<std::uint64_t, std::uint64_t> GetLogTrace() noexcept {
+  return {g_trace_id, g_span_id};
+}
+
 LogLevel ParseLogLevel(std::string_view text) noexcept {
   if (EqualsIgnoreCase(text, "trace")) return LogLevel::Trace;
   if (EqualsIgnoreCase(text, "debug")) return LogLevel::Debug;
@@ -63,10 +75,13 @@ bool Enabled(LogLevel level) noexcept {
 
 void Emit(LogLevel level, std::string_view message) {
   std::string line;
-  line.reserve(message.size() + 16);
+  line.reserve(message.size() + 48);
   line.append("[");
   line.append(LevelTag(level));
   line.append("] ");
+  if (g_trace_id != 0) {
+    line.append(Format("[t:{} s:{}] ", g_trace_id, g_span_id));
+  }
   line.append(message);
   line.push_back('\n');
   std::lock_guard lock(g_emit_mutex);

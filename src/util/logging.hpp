@@ -6,7 +6,9 @@
 // global atomic; the default (Warn) keeps simulations quiet.
 
 #include <atomic>
+#include <cstdint>
 #include <string_view>
+#include <utility>
 
 #include "util/format.hpp"
 
@@ -23,6 +25,14 @@ LogLevel GetLogLevel() noexcept;
 /// Parse "trace|debug|info|warn|error|off" (case-insensitive); returns Warn
 /// on unrecognized input.
 LogLevel ParseLogLevel(std::string_view text) noexcept;
+
+/// Ambient trace/span ids stamped into every emitted line as
+/// "[t:<trace> s:<span>]" while trace_id != 0 (thread-local, so parallel
+/// sweeps don't cross-tag). Set/cleared by obs::ScopedLogTrace around
+/// traced protocol steps; lines from one query can then be grepped by id.
+void SetLogTrace(std::uint64_t trace_id, std::uint64_t span_id) noexcept;
+/// Current ambient ids ({0, 0} when unset); used to restore nested scopes.
+std::pair<std::uint64_t, std::uint64_t> GetLogTrace() noexcept;
 
 namespace detail {
 void Emit(LogLevel level, std::string_view message);

@@ -1,0 +1,175 @@
+// Unit tests for the typed metric instruments: counter/gauge basics,
+// log-bucket boundary math, percentile estimation, and registry identity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/registry.hpp"
+
+namespace peertrack::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.25);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+}
+
+TEST(Histogram, BucketZeroIsUnderflow) {
+  Histogram h;  // min_bound = 0.01
+  EXPECT_EQ(h.BucketIndexFor(0.0), 0u);
+  EXPECT_EQ(h.BucketIndexFor(0.0099), 0u);
+  // A value exactly on the lower edge of bucket 1 lands in bucket 1.
+  EXPECT_EQ(h.BucketIndexFor(0.01), 1u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(0), h.options().min_bound);
+}
+
+TEST(Histogram, BucketBoundsAreContiguousAndGeometric) {
+  Histogram h;
+  const double growth =
+      std::exp2(1.0 / static_cast<double>(h.options().buckets_per_octave));
+  for (std::size_t b = 1; b + 1 < h.BucketCount(); ++b) {
+    // Each bucket starts where the previous one ends...
+    EXPECT_DOUBLE_EQ(h.BucketLow(b), h.BucketHigh(b - 1)) << "bucket " << b;
+    // ...and spans one growth factor.
+    EXPECT_NEAR(h.BucketHigh(b) / h.BucketLow(b), growth, 1e-12) << "bucket " << b;
+  }
+  EXPECT_TRUE(std::isinf(h.BucketHigh(h.BucketCount() - 1)));
+}
+
+TEST(Histogram, BucketMidpointsRoundTrip) {
+  Histogram h;
+  for (std::size_t b = 1; b + 1 < h.BucketCount(); ++b) {
+    const double mid = 0.5 * (h.BucketLow(b) + h.BucketHigh(b));
+    EXPECT_EQ(h.BucketIndexFor(mid), b) << "midpoint of bucket " << b;
+  }
+}
+
+TEST(Histogram, OverflowClampsToLastBucket) {
+  Histogram h;
+  EXPECT_EQ(h.BucketIndexFor(1e30), h.BucketCount() - 1);
+  h.Add(1e30);
+  EXPECT_EQ(h.BucketValue(h.BucketCount() - 1), 1u);
+  EXPECT_DOUBLE_EQ(h.Max(), 1e30);
+  // The overflow bucket caps interpolation at the observed max.
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 1e30);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Add(-5.0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.BucketValue(0), 1u);
+}
+
+TEST(Histogram, ExactStatsAreExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+}
+
+TEST(Histogram, PercentilesWithinBucketError) {
+  // 4 buckets/octave gives growth 2^(1/4) ~ 1.19, so any percentile
+  // estimate is within ~19% of the true order statistic.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.P50(), 500.0, 500.0 * 0.19);
+  EXPECT_NEAR(h.P95(), 950.0, 950.0 * 0.19);
+  EXPECT_NEAR(h.P99(), 990.0, 990.0 * 0.19);
+  // Percentiles are monotone in p and clamped to [Min, Max].
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  EXPECT_GE(h.Percentile(0.0), h.Min());
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, SingleSamplePercentilesCollapse) {
+  Histogram h;
+  h.Add(7.0);
+  EXPECT_DOUBLE_EQ(h.P50(), 7.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 7.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  for (std::size_t b = 0; b < h.BucketCount(); ++b) {
+    EXPECT_EQ(h.BucketValue(b), 0u);
+  }
+}
+
+TEST(Histogram, CustomOptionsRespected) {
+  HistogramOptions options;
+  options.min_bound = 1.0;
+  options.buckets_per_octave = 1;
+  options.max_buckets = 8;
+  Histogram h(options);
+  EXPECT_EQ(h.BucketCount(), 8u);
+  EXPECT_EQ(h.BucketIndexFor(0.5), 0u);
+  EXPECT_EQ(h.BucketIndexFor(1.0), 1u);   // [1, 2)
+  EXPECT_EQ(h.BucketIndexFor(3.0), 2u);   // [2, 4)
+  EXPECT_EQ(h.BucketIndexFor(1000.0), 7u);
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  Registry registry;
+  Counter& a = registry.GetCounter("x");
+  a.Add(3);
+  EXPECT_EQ(&registry.GetCounter("x"), &a);
+  EXPECT_EQ(registry.CounterValue("x"), 3u);
+  EXPECT_EQ(registry.CounterValue("never-created"), 0u);
+
+  Histogram& h = registry.GetHistogram("lat");
+  h.Add(1.0);
+  EXPECT_EQ(&registry.GetHistogram("lat"), &h);
+  EXPECT_EQ(registry.FindHistogram("lat"), &h);
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+}
+
+TEST(Registry, IterationIsSortedByName) {
+  Registry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  std::string previous;
+  for (const auto& [name, counter] : registry.counters()) {
+    EXPECT_LT(previous, name);
+    previous = name;
+  }
+  EXPECT_EQ(registry.counters().size(), 3u);
+}
+
+}  // namespace
+}  // namespace peertrack::obs

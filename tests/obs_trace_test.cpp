@@ -1,0 +1,407 @@
+// Tracer unit tests plus end-to-end span-tree assertions: a completed
+// trace/locate query must reconstruct as a causal tree — chord/probe hops,
+// the gateway read, and the IOP walk — even under wire loss and rpc retry.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "tracking/tracking_system.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::obs {
+namespace {
+
+TEST(Tracer, DisabledByDefaultAndOpsNoOp) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.Enabled());
+  const TraceContext ctx = tracer.StartTrace("x", 1, 0.0);
+  EXPECT_FALSE(ctx.Valid());
+  tracer.EndSpan(ctx, 1.0);
+  tracer.AddEvent(ctx, "e", 1, 1.0);
+  EXPECT_TRUE(tracer.Spans().empty());
+}
+
+TEST(Tracer, SpanParentageAndStatus) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const TraceContext root = tracer.StartTrace("root", 1, 10.0);
+  ASSERT_TRUE(root.Valid());
+  const TraceContext child = tracer.StartSpan(root, "child", 2, 11.0);
+  ASSERT_TRUE(child.Valid());
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_EQ(tracer.OpenSpanCount(), 2u);
+
+  tracer.EndSpan(child, 15.0, "ok");
+  tracer.EndSpan(root, 20.0, "failed");
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+
+  ASSERT_EQ(tracer.Spans().size(), 2u);
+  const SpanRecord& r = tracer.Spans()[0];
+  const SpanRecord& c = tracer.Spans()[1];
+  EXPECT_EQ(r.parent_id, 0u);
+  EXPECT_EQ(c.parent_id, r.span_id);
+  EXPECT_DOUBLE_EQ(c.end_ms, 15.0);
+  EXPECT_EQ(r.status, "failed");
+  EXPECT_EQ(c.status, "ok");
+}
+
+TEST(Tracer, EndSpanIsIdempotent) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const TraceContext root = tracer.StartTrace("root", 1, 0.0);
+  tracer.EndSpan(root, 5.0, "ok");
+  tracer.EndSpan(root, 99.0, "late");  // Must not overwrite.
+  EXPECT_DOUBLE_EQ(tracer.Spans()[0].end_ms, 5.0);
+  EXPECT_EQ(tracer.Spans()[0].status, "ok");
+}
+
+TEST(Tracer, StartSpanFromInvalidParentStaysInvalid) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const TraceContext child = tracer.StartSpan(TraceContext{}, "orphan", 1, 0.0);
+  EXPECT_FALSE(child.Valid());
+  EXPECT_TRUE(tracer.Spans().empty());
+}
+
+TEST(Tracer, AddEventRecordsZeroDurationChild) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const TraceContext root = tracer.StartTrace("root", 1, 0.0);
+  tracer.AddEvent(root, "gateway.read", 7, 3.0);
+  ASSERT_EQ(tracer.Spans().size(), 2u);
+  const SpanRecord& event = tracer.Spans()[1];
+  EXPECT_EQ(event.name, "gateway.read");
+  EXPECT_EQ(event.parent_id, root.span_id);
+  EXPECT_EQ(event.actor, 7u);
+  EXPECT_FALSE(event.open);
+  EXPECT_DOUBLE_EQ(event.start_ms, 3.0);
+  EXPECT_DOUBLE_EQ(event.end_ms, 3.0);
+}
+
+TEST(Tracer, SpansOfFiltersByTrace) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const TraceContext a = tracer.StartTrace("a", 1, 0.0);
+  const TraceContext b = tracer.StartTrace("b", 2, 0.0);
+  tracer.StartSpan(a, "a.child", 1, 1.0);
+  EXPECT_EQ(tracer.SpansOf(a.trace_id).size(), 2u);
+  EXPECT_EQ(tracer.SpansOf(b.trace_id).size(), 1u);
+}
+
+TEST(ScopedLogTrace, SetsAndRestoresAmbientIds) {
+  util::SetLogTrace(0, 0);
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const TraceContext outer = tracer.StartTrace("outer", 1, 0.0);
+  const TraceContext inner = tracer.StartSpan(outer, "inner", 1, 0.0);
+  {
+    ScopedLogTrace a(outer);
+    EXPECT_EQ(util::GetLogTrace().first, outer.trace_id);
+    EXPECT_EQ(util::GetLogTrace().second, outer.span_id);
+    {
+      ScopedLogTrace b(inner);
+      EXPECT_EQ(util::GetLogTrace().second, inner.span_id);
+    }
+    EXPECT_EQ(util::GetLogTrace().second, outer.span_id);
+  }
+  EXPECT_EQ(util::GetLogTrace().first, 0u);
+
+  // An invalid context leaves the ambient ids untouched.
+  {
+    ScopedLogTrace c(outer);
+    ScopedLogTrace d{TraceContext{}};
+    EXPECT_EQ(util::GetLogTrace().first, outer.trace_id);
+  }
+}
+
+// --- End-to-end span trees --------------------------------------------------
+
+tracking::SystemConfig MakeConfig(tracking::IndexingMode mode) {
+  tracking::SystemConfig config;
+  config.tracker.mode = mode;
+  config.tracker.window.tmax_ms = 100.0;
+  config.tracker.window.nmax = 64;
+  config.seed = 0xfeedULL;
+  return config;
+}
+
+std::map<SpanId, const SpanRecord*> IndexBySpanId(
+    const std::vector<const SpanRecord*>& spans) {
+  std::map<SpanId, const SpanRecord*> by_id;
+  for (const SpanRecord* span : spans) by_id.emplace(span->span_id, span);
+  return by_id;
+}
+
+/// Every non-root span's parent must exist in the same trace, and the trace
+/// must have exactly one root.
+void ExpectWellFormedTree(const std::vector<const SpanRecord*>& spans) {
+  ASSERT_FALSE(spans.empty());
+  const auto by_id = IndexBySpanId(spans);
+  std::size_t roots = 0;
+  for (const SpanRecord* span : spans) {
+    if (span->parent_id == 0) {
+      ++roots;
+      continue;
+    }
+    const auto parent = by_id.find(span->parent_id);
+    ASSERT_NE(parent, by_id.end())
+        << "span " << span->name << " has a dangling parent";
+    EXPECT_EQ(parent->second->trace_id, span->trace_id);
+  }
+  EXPECT_EQ(roots, 1u) << "a trace must have exactly one root span";
+}
+
+/// Pick an object whose gateway is on neither the trajectory nor the query
+/// origin, so the query is forced through remote probe hops.
+hash::UInt160 RemoteGatewayObject(tracking::TrackingSystem& system,
+                                  std::initializer_list<std::size_t> exclude) {
+  for (int salt = 0;; ++salt) {
+    const auto object = hash::ObjectKey("epc:traced-" + std::to_string(salt));
+    const auto* gateway = system.OwnerOf(object);
+    const auto index = system.NodeIndexOfActor(gateway->Self().actor);
+    bool excluded = false;
+    for (const std::size_t e : exclude) excluded |= (index == e);
+    if (!excluded) return object;
+  }
+}
+
+TEST(QueryTracing, TraceQueryYieldsProbeGatewayWalkTree) {
+  tracking::TrackingSystem system(16, MakeConfig(tracking::IndexingMode::kIndividual));
+  const auto object = RemoteGatewayObject(system, {0, 3, 7, 12});
+  workload::InjectTrajectory(system, object, {3, 7, 12}, 10.0, 500.0);
+  system.Run();
+
+  system.network().tracer().SetEnabled(true);
+  bool done = false;
+  system.TraceQuery(0, object, [&](tracking::TrackerNode::TraceResult result) {
+    ASSERT_TRUE(result.ok);
+    done = true;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+
+  const Tracer& tracer = system.network().tracer();
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+
+  // Find the query root and collect its trace.
+  const SpanRecord* root = nullptr;
+  for (const SpanRecord& span : tracer.Spans()) {
+    if (span.name == "query.trace") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(root->status, "ok");
+  EXPECT_FALSE(root->open);
+
+  const auto spans = tracer.SpansOf(root->trace_id);
+  ExpectWellFormedTree(spans);
+  const auto by_id = IndexBySpanId(spans);
+
+  std::size_t probes = 0;
+  std::size_t walks = 0;
+  std::size_t rpc_attempts = 0;
+  bool gateway_read = false;
+  bool iop_read = false;
+  for (const SpanRecord* span : spans) {
+    const std::string& name = span->name;
+    if (name.rfind("query.probe#", 0) == 0) {
+      ++probes;
+      EXPECT_EQ(span->parent_id, root->span_id);
+    } else if (name.rfind("query.walk.", 0) == 0) {
+      ++walks;
+      EXPECT_EQ(span->parent_id, root->span_id);
+    } else if (name.rfind("rpc.", 0) == 0) {
+      ++rpc_attempts;
+      // Attempt spans hang off a probe or walk stage span.
+      const SpanRecord* parent = by_id.at(span->parent_id);
+      EXPECT_TRUE(parent->name.rfind("query.probe#", 0) == 0 ||
+                  parent->name.rfind("query.walk.", 0) == 0)
+          << "rpc attempt parented on " << parent->name;
+    } else if (name == "gateway.read") {
+      gateway_read = true;
+      // The gateway read happened while serving some rpc attempt.
+      EXPECT_EQ(by_id.at(span->parent_id)->name.rfind("rpc.", 0), 0u);
+    } else if (name == "iop.read") {
+      iop_read = true;
+    }
+  }
+  // The gateway is remote, so the query probed at least once, read the
+  // gateway index, and walked the IOP list (3 visits = >= 3 walk reads).
+  EXPECT_GE(probes, 1u);
+  EXPECT_TRUE(gateway_read);
+  EXPECT_GE(walks, 3u);
+  EXPECT_TRUE(iop_read);
+  EXPECT_GE(rpc_attempts, probes + walks);
+}
+
+TEST(QueryTracing, LocateQueryReadsGatewayWithoutWalking) {
+  tracking::TrackingSystem system(16, MakeConfig(tracking::IndexingMode::kIndividual));
+  const auto object = RemoteGatewayObject(system, {0, 3, 7});
+  workload::InjectTrajectory(system, object, {3, 7}, 10.0, 500.0);
+  system.Run();
+
+  system.network().tracer().SetEnabled(true);
+  bool done = false;
+  system.LocateQuery(0, object, [&](tracking::TrackerNode::LocateResult result) {
+    ASSERT_TRUE(result.ok);
+    done = true;
+  });
+  system.Run();
+  ASSERT_TRUE(done);
+
+  const Tracer& tracer = system.network().tracer();
+  const SpanRecord* root = nullptr;
+  for (const SpanRecord& span : tracer.Spans()) {
+    if (span.name == "query.locate") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->status, "ok");
+
+  const auto spans = tracer.SpansOf(root->trace_id);
+  ExpectWellFormedTree(spans);
+  std::size_t probes = 0;
+  bool gateway_read = false;
+  for (const SpanRecord* span : spans) {
+    if (span->name.rfind("query.probe#", 0) == 0) ++probes;
+    if (span->name == "gateway.read") gateway_read = true;
+    EXPECT_EQ(span->name.rfind("query.walk.", 0), std::string::npos)
+        << "locate must not walk the IOP list";
+  }
+  EXPECT_GE(probes, 1u);
+  EXPECT_TRUE(gateway_read);
+}
+
+TEST(QueryTracing, TreesStayWellFormedUnderLoss) {
+  tracking::TrackingSystem system(16, MakeConfig(tracking::IndexingMode::kGroup));
+  workload::MovementParams params;
+  params.nodes = 16;
+  params.objects_per_node = 20;
+  params.move_fraction = 0.3;
+  params.trace_length = 4;
+  params.move_in_groups = true;
+  const auto scenario = workload::ExecuteScenario(system, params, 7);
+
+  system.network().tracer().SetEnabled(true);
+  system.network().SetLossRate(0.05);
+  util::Rng rng(21);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto& object = scenario.object_keys[rng.NextBelow(scenario.object_keys.size())];
+    const auto origin = static_cast<std::size_t>(rng.NextBelow(system.NodeCount()));
+    bool done = false;
+    if (i % 2 == 0) {
+      system.TraceQuery(origin, object,
+                        [&](tracking::TrackerNode::TraceResult) { done = true; });
+    } else {
+      system.LocateQuery(origin, object,
+                         [&](tracking::TrackerNode::LocateResult) { done = true; });
+    }
+    system.Run();
+    ASSERT_TRUE(done);
+  }
+
+  const Tracer& tracer = system.network().tracer();
+  std::set<TraceId> query_traces;
+  for (const SpanRecord& span : tracer.Spans()) {
+    if (span.parent_id == 0) {
+      EXPECT_TRUE(span.name.rfind("query.", 0) == 0 ||
+                  span.name.rfind("index.", 0) == 0)
+          << "unexpected root " << span.name;
+      if (span.name.rfind("query.", 0) == 0) query_traces.insert(span.trace_id);
+    }
+  }
+  EXPECT_EQ(query_traces.size(), 30u);
+  for (const TraceId trace : query_traces) {
+    ExpectWellFormedTree(tracer.SpansOf(trace));
+  }
+  // Every query completed, so nothing may be left open.
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+}
+
+TEST(QueryTracing, RetriesAppearAsSiblingAttemptSpans) {
+  tracking::TrackingSystem system(16, MakeConfig(tracking::IndexingMode::kIndividual));
+  workload::MovementParams params;
+  params.nodes = 16;
+  params.objects_per_node = 20;
+  params.move_fraction = 0.3;
+  params.trace_length = 4;
+  const auto scenario = workload::ExecuteScenario(system, params, 9);
+
+  system.network().tracer().SetEnabled(true);
+  system.network().SetLossRate(0.5);
+  util::Rng rng(33);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto& object = scenario.object_keys[rng.NextBelow(scenario.object_keys.size())];
+    bool done = false;
+    system.TraceQuery(static_cast<std::size_t>(rng.NextBelow(system.NodeCount())),
+                      object,
+                      [&](tracking::TrackerNode::TraceResult) { done = true; });
+    system.Run();
+    ASSERT_TRUE(done);
+  }
+  ASSERT_GT(system.metrics().RpcRetries(), 0u) << "50% loss must cause retries";
+
+  // Every second attempt ("...#1") must have a first attempt ("...#0")
+  // under the same parent — retries are sibling children of the caller's
+  // stage span, not a new trace.
+  const Tracer& tracer = system.network().tracer();
+  std::size_t second_attempts = 0;
+  for (const SpanRecord& span : tracer.Spans()) {
+    if (span.name.rfind("rpc.", 0) != 0 || span.name.rfind("#1") == std::string::npos ||
+        span.name.rfind("#1") != span.name.size() - 2) {
+      continue;
+    }
+    ++second_attempts;
+    const std::string first_name = span.name.substr(0, span.name.size() - 1) + "0";
+    bool found_sibling = false;
+    for (const SpanRecord& other : tracer.Spans()) {
+      if (other.parent_id == span.parent_id && other.name == first_name) {
+        found_sibling = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found_sibling) << "no first attempt next to " << span.name;
+  }
+  EXPECT_GT(second_attempts, 0u);
+  EXPECT_EQ(tracer.OpenSpanCount(), 0u);
+}
+
+TEST(QueryTracing, IndexingEmitsRootMarkersThatTagWireMessages) {
+  tracking::TrackingSystem system(8, MakeConfig(tracking::IndexingMode::kIndividual));
+  system.network().tracer().SetEnabled(true);
+  // Keep the gateway off the trajectory so the M2/M3 updates are remote
+  // wire messages (self-sends are not recorded as MessageEvents).
+  const auto object = RemoteGatewayObject(system, {2, 5});
+  workload::InjectTrajectory(system, object, {2, 5}, 10.0, 500.0);
+  system.Run();
+
+  const Tracer& tracer = system.network().tracer();
+  std::set<TraceId> index_traces;
+  for (const SpanRecord& span : tracer.Spans()) {
+    if (span.name == "index.m1") {
+      EXPECT_EQ(span.parent_id, 0u);
+      EXPECT_FALSE(span.open);
+      index_traces.insert(span.trace_id);
+    }
+  }
+  ASSERT_GE(index_traces.size(), 2u);  // One marker per arrival report.
+
+  // The M3 (and for the second hop M2) updates carry the marker's context.
+  std::size_t tagged_updates = 0;
+  for (const MessageEvent& msg : tracer.Messages()) {
+    if ((msg.type == "track.iop_from" || msg.type == "track.iop_to") &&
+        index_traces.contains(msg.trace.trace_id)) {
+      ++tagged_updates;
+    }
+  }
+  EXPECT_GE(tagged_updates, 2u);
+}
+
+}  // namespace
+}  // namespace peertrack::obs
