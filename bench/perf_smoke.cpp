@@ -1,0 +1,111 @@
+// perf_smoke — the repo's canonical performance probe.
+//
+// Runs the fixed-seed workload::RunPerfSmoke scenario (default: 256 nodes,
+// 512000 objects, group indexing, 100 trace queries), times it, and writes
+// BENCH.json with wall-clock timings and throughput (events/sec,
+// messages/sec) plus message-pool allocation stats. CI runs this on every
+// push and uploads BENCH.json as an artifact, so the performance trajectory
+// of the simulator kernel is recorded PR over PR.
+//
+// Usage:
+//   perf_smoke [--nodes=256] [--objects=512000] [--queries=100]
+//              [--seed=0xBE9C5] [--repeat=1] [--out=BENCH.json]
+//
+// With --repeat=N the scenario runs N times and the fastest run is
+// reported (standard practice to shave scheduler noise); the simulation
+// metrics must be identical across repeats, which doubles as a built-in
+// determinism check.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "sim/message_pool.hpp"
+#include "util/config.hpp"
+#include "util/format.hpp"
+#include "workload/perf_smoke.hpp"
+
+namespace {
+
+using peertrack::workload::PerfSmokeParams;
+using peertrack::workload::PerfSmokeReport;
+
+double PerSec(std::uint64_t count, double wall_ms) {
+  return wall_ms > 0.0 ? static_cast<double>(count) * 1000.0 / wall_ms : 0.0;
+}
+
+std::string ReportJson(const PerfSmokeParams& params, const PerfSmokeReport& report,
+                       int repeats) {
+  const peertrack::sim::MessagePoolStats pool = peertrack::sim::MessagePoolStats::Read();
+  std::string json = "{\n";
+  json += peertrack::util::Format(
+      "  \"bench\": \"perf_smoke\",\n"
+      "  \"config\": {{\"nodes\": {}, \"objects\": {}, \"queries\": {}, "
+      "\"seed\": {}, \"repeats\": {}}},\n",
+      params.nodes, params.objects, params.queries, params.seed, repeats);
+  json += peertrack::util::Format(
+      "  \"wall_ms\": {{\"build\": {:.3f}, \"index\": {:.3f}, \"query\": {:.3f}, "
+      "\"total\": {:.3f}}},\n",
+      report.wall_build_ms, report.wall_index_ms, report.wall_query_ms,
+      report.WallTotalMs());
+  json += peertrack::util::Format(
+      "  \"events\": {},\n  \"events_per_sec\": {:.1f},\n"
+      "  \"messages\": {},\n  \"messages_per_sec\": {:.1f},\n"
+      "  \"bytes\": {},\n  \"captures\": {},\n",
+      report.events, PerSec(report.events, report.WallTotalMs()), report.messages,
+      PerSec(report.messages, report.WallTotalMs()), report.bytes, report.captures);
+  json += peertrack::util::Format(
+      "  \"queries_ok\": {},\n  \"queries_failed\": {},\n  \"sim_time_ms\": {:.1f},\n",
+      report.queries_ok, report.queries_failed, report.sim_time_ms);
+  json += peertrack::util::Format(
+      "  \"allocations\": {{\"pool_enabled\": {}, \"pool_served\": {}, "
+      "\"pool_reused\": {}, \"pool_fallback\": {}, \"slab_bytes\": {}}}\n",
+      peertrack::sim::MessagePool::Enabled() ? "true" : "false", pool.served,
+      pool.reused, pool.fallback, pool.slab_bytes);
+  json += "}\n";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = peertrack::util::Config::FromArgs(argc, argv);
+  PerfSmokeParams params;
+  params.nodes = static_cast<std::size_t>(config.GetUInt("nodes", params.nodes));
+  params.objects = static_cast<std::size_t>(config.GetUInt("objects", params.objects));
+  params.queries = static_cast<std::size_t>(config.GetUInt("queries", params.queries));
+  params.seed = config.GetUInt("seed", params.seed);
+  const int repeats = std::max<int>(1, static_cast<int>(config.GetInt("repeat", 1)));
+  const std::string out_path = config.GetString("out", "BENCH.json");
+
+  PerfSmokeReport best;
+  for (int run = 0; run < repeats; ++run) {
+    PerfSmokeReport report = peertrack::workload::RunPerfSmoke(params);
+    if (run > 0 && (report.events != best.events ||
+                    report.metric_rows != best.metric_rows)) {
+      std::fprintf(stderr,
+                   "perf_smoke: repeat %d diverged from run 0 "
+                   "(events %llu vs %llu) — determinism broken\n",
+                   run, static_cast<unsigned long long>(report.events),
+                   static_cast<unsigned long long>(best.events));
+      return 2;
+    }
+    if (run == 0 || report.WallTotalMs() < best.WallTotalMs()) {
+      best = std::move(report);
+    }
+  }
+
+  const std::string json = ReportJson(params, best, repeats);
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << json;
+    std::fprintf(stderr, "(BENCH written to %s)\n", out_path.c_str());
+  }
+  return best.queries_failed == 0 ? 0 : 3;
+}

@@ -13,7 +13,13 @@ ChordNode::ChordNode(sim::Network& network, std::string address, Options options
       rpc_(network),
       server_(network),
       successors_(self_.id, options.successor_list_size),
-      fingers_(self_.id) {
+      fingers_(self_.id),
+      ctr_successor_failover_(
+          network.metrics().registry().GetCounter("chord.successor_failover")),
+      ctr_predecessor_evicted_(
+          network.metrics().registry().GetCounter("chord.predecessor_evicted")),
+      ctr_lookup_hop_timeout_(
+          network.metrics().registry().GetCounter("chord.lookup_hop_timeout")) {
   self_.actor = network_.Register(*this);
   rpc_.Bind(self_.actor);
   server_.Bind(self_.actor);
@@ -186,7 +192,7 @@ void ChordNode::DoStabilize() {
           // Successor did not answer across all retries: consider it dead
           // and fail over to the next successor-list entry.
           EvictPeer(stabilize_target_);
-          network_.metrics().Bump("chord.successor_failover");
+          ctr_successor_failover_.Add();
           return;
         }
         HandleStabilizeResponse(*response);
@@ -206,7 +212,7 @@ void ChordNode::DoCheckPredecessor() {
         if (!alive_) return;
         if (status != rpc::Status::kOk) {
           EvictPeer(ping_target_);
-          network_.metrics().Bump("chord.predecessor_evicted");
+          ctr_predecessor_evicted_.Add();
         }
       });
 }

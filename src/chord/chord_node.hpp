@@ -200,6 +200,12 @@ class ChordNode final : public sim::Actor {
   std::uint64_t next_lookup_id_ = 1;
   std::unordered_map<std::uint64_t, PendingLookup> pending_lookups_;
 
+  /// Cached instrument references (resolved once; valid across
+  /// Metrics::Reset, which zeroes in place — see sim::Metrics).
+  obs::Counter& ctr_successor_failover_;
+  obs::Counter& ctr_predecessor_evicted_;
+  obs::Counter& ctr_lookup_hop_timeout_;
+
   // Peers this node has seen depart or time out. Gossiped routing state
   // (merged successor lists, stale finger owners) is filtered against this
   // set so confirmed-dead peers cannot re-enter local tables. Actor ids

@@ -119,7 +119,7 @@ void ChordNode::LookupStepTimedOut(std::uint64_t lookup_id) {
   // The queried hop exhausted its RPC retries: purge it from local routing
   // state so the restart routes around it.
   EvictPeer(pending.current);
-  network_.metrics().Bump("chord.lookup_hop_timeout");
+  ctr_lookup_hop_timeout_.Add();
 
   if (pending.retries >= options_.lookup_retries) {
     FinishLookup(lookup_id, NodeRef{});

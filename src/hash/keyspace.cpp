@@ -1,5 +1,7 @@
 #include "hash/keyspace.hpp"
 
+#include <unordered_map>
+
 namespace peertrack::hash {
 
 UInt160 ObjectKey(std::string_view raw_object_id) noexcept {
@@ -64,7 +66,15 @@ bool Prefix::Matches(const UInt160& key) const noexcept {
 }
 
 UInt160 GroupKey(const Prefix& prefix) noexcept {
-  return UInt160::FromDigest(Sha1Hash(prefix.ToString()));
+  // FlushWindow recomputes the key of every non-empty group each time a
+  // window closes, and the live prefix space is tiny (2^Lp values), so the
+  // SHA-1 is memoized. The map only ever holds pure-function results, which
+  // keeps same-seed runs bit-identical regardless of cache state.
+  thread_local std::unordered_map<Prefix, UInt160, PrefixHasher> cache;
+  if (cache.size() > (1u << 20)) cache.clear();  // Unbounded-growth guard.
+  const auto [it, inserted] = cache.try_emplace(prefix);
+  if (inserted) it->second = UInt160::FromDigest(Sha1Hash(prefix.ToString()));
+  return it->second;
 }
 
 }  // namespace peertrack::hash

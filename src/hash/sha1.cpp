@@ -95,18 +95,18 @@ void Sha1::ProcessBlock(const std::uint8_t* block) noexcept {
 Sha1Digest Sha1::Finish() noexcept {
   const std::uint64_t bit_length = total_bytes_ * 8;
   // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
-  // message length.
-  const std::uint8_t one = 0x80;
-  Update(std::span<const std::uint8_t>(&one, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) {
-    Update(std::span<const std::uint8_t>(&zero, 1));
-  }
-  std::uint8_t length_bytes[8];
+  // message length — assembled into one trailer (at most 1 + 63 + 8 bytes)
+  // so the whole padding costs a single Update call.
+  std::uint8_t trailer[72] = {0x80};
+  const std::size_t pad_zeros =
+      buffered_ <= 55 ? 55 - buffered_ : 119 - buffered_;
+  std::size_t trailer_size = 1 + pad_zeros;
   for (int i = 0; i < 8; ++i) {
-    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+    trailer[trailer_size + i] =
+        static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
   }
-  Update(std::span<const std::uint8_t>(length_bytes, 8));
+  trailer_size += 8;
+  Update(std::span<const std::uint8_t>(trailer, trailer_size));
 
   Sha1Digest digest;
   for (int i = 0; i < 5; ++i) {

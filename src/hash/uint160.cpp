@@ -80,42 +80,6 @@ UInt160 UInt160::operator-(const UInt160& rhs) const noexcept {
   return UInt160(out);
 }
 
-bool UInt160::BitFromMsb(unsigned index) const noexcept {
-  const unsigned word = index / 32;
-  const unsigned bit = 31 - index % 32;
-  return (words_[word] >> bit) & 1u;
-}
-
-std::uint64_t UInt160::PrefixBits(unsigned bits) const noexcept {
-  if (bits == 0) return 0;
-  if (bits > 64) bits = 64;
-  const std::uint64_t high64 =
-      (static_cast<std::uint64_t>(words_[0]) << 32) | words_[1];
-  return high64 >> (64 - bits);
-}
-
-bool UInt160::InOpenInterval(const UInt160& lo, const UInt160& hi) const noexcept {
-  if (lo == hi) {
-    // Degenerate whole-ring interval: everything except the endpoint.
-    return *this != lo;
-  }
-  if (lo < hi) return lo < *this && *this < hi;
-  return *this > lo || *this < hi;  // Interval wraps past zero.
-}
-
-bool UInt160::InHalfOpenLoHi(const UInt160& lo, const UInt160& hi) const noexcept {
-  if (lo == hi) return true;  // Whole ring, endpoint included.
-  if (lo < hi) return lo < *this && *this <= hi;
-  return *this > lo || *this <= hi;
-}
-
-bool UInt160::IsZero() const noexcept {
-  for (auto w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
-}
-
 std::string UInt160::ToHex() const {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
@@ -129,14 +93,5 @@ std::string UInt160::ToHex() const {
 }
 
 std::string UInt160::ToShortHex() const { return ToHex().substr(0, 10); }
-
-std::uint64_t UInt160::Fold64() const noexcept {
-  std::uint64_t acc = 0xcbf29ce484222325ULL;
-  for (auto w : words_) {
-    acc ^= w;
-    acc *= 0x100000001b3ULL;
-  }
-  return acc;
-}
 
 }  // namespace peertrack::hash

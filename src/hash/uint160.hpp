@@ -57,20 +57,47 @@ class UInt160 {
 
   /// Bit at position `index` counted from the most-significant bit
   /// (index 0 = bit 159). Precondition: index < 160.
-  bool BitFromMsb(unsigned index) const noexcept;
+  bool BitFromMsb(unsigned index) const noexcept {
+    const unsigned word = index / 32;
+    const unsigned bit = 31 - index % 32;
+    return (words_[word] >> bit) & 1u;
+  }
 
   /// The top `bits` bits as an integer (bits <= 64). bits == 0 returns 0.
-  std::uint64_t PrefixBits(unsigned bits) const noexcept;
+  std::uint64_t PrefixBits(unsigned bits) const noexcept {
+    if (bits == 0) return 0;
+    if (bits > 64) bits = 64;
+    const std::uint64_t high64 =
+        (static_cast<std::uint64_t>(words_[0]) << 32) | words_[1];
+    return high64 >> (64 - bits);
+  }
 
   /// In-ring membership tests used by Chord. All treat the ring as
   /// circular: when lo == hi the open interval is the whole ring minus the
   /// endpoints' degenerate cases, matching the Chord paper's conventions.
+  /// Defined inline: every routing hop runs several of these per finger.
   /// InOpenInterval:     x in (lo, hi)
   /// InHalfOpenLoHi:     x in (lo, hi]
-  bool InOpenInterval(const UInt160& lo, const UInt160& hi) const noexcept;
-  bool InHalfOpenLoHi(const UInt160& lo, const UInt160& hi) const noexcept;
+  bool InOpenInterval(const UInt160& lo, const UInt160& hi) const noexcept {
+    if (lo == hi) {
+      // Degenerate whole-ring interval: everything except the endpoint.
+      return *this != lo;
+    }
+    if (lo < hi) return lo < *this && *this < hi;
+    return *this > lo || *this < hi;  // Interval wraps past zero.
+  }
+  bool InHalfOpenLoHi(const UInt160& lo, const UInt160& hi) const noexcept {
+    if (lo == hi) return true;  // Whole ring, endpoint included.
+    if (lo < hi) return lo < *this && *this <= hi;
+    return *this > lo || *this <= hi;
+  }
 
-  bool IsZero() const noexcept;
+  bool IsZero() const noexcept {
+    for (auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
 
   /// 40-digit lowercase hex.
   std::string ToHex() const;
@@ -79,7 +106,15 @@ class UInt160 {
   std::string ToShortHex() const;
 
   /// Fold down to 64 bits (for use as an unordered_map key hash).
-  std::uint64_t Fold64() const noexcept;
+  /// Inline: this runs on every probe of every UInt160-keyed hashtable.
+  std::uint64_t Fold64() const noexcept {
+    std::uint64_t acc = 0xcbf29ce484222325ULL;
+    for (auto w : words_) {
+      acc ^= w;
+      acc *= 0x100000001b3ULL;
+    }
+    return acc;
+  }
 
  private:
   Words words_;

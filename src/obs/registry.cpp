@@ -109,6 +109,12 @@ std::uint64_t Registry::CounterValue(std::string_view name) const noexcept {
   return it == counters_.end() ? 0 : it->second.Value();
 }
 
+void Registry::ResetValues() noexcept {
+  for (auto& [name, counter] : counters_) counter = Counter{};
+  for (auto& [name, gauge] : gauges_) gauge = Gauge{};
+  for (auto& [name, histogram] : histograms_) histogram.Reset();
+}
+
 const Histogram* Registry::FindHistogram(std::string_view name) const noexcept {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;

@@ -125,6 +125,11 @@ class Registry {
 
   void Reset() { counters_.clear(); gauges_.clear(); histograms_.clear(); }
 
+  /// Zero every instrument's value but keep the instruments themselves:
+  /// names, histogram bucket layouts, and — critically — addresses survive,
+  /// so references cached by hot paths stay valid across a reset.
+  void ResetValues() noexcept;
+
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;

@@ -47,13 +47,13 @@ void RpcClient::OnDeadline(CallId id) {
   PendingCall& call = it->second;
   if (call.attempt + 1 < call.policy.max_attempts) {
     ++call.attempt;
-    network_.metrics().RecordRpcRetry(call.request->TypeName());
+    network_.metrics().RecordRpcRetry(*call.request);
     network_.tracer().EndSpan(call.attempt_span, network_.simulator().Now(),
                               "no-reply");
     SendAttempt(id, call);
     return;
   }
-  network_.metrics().RecordRpcTimeout(call.request->TypeName());
+  network_.metrics().RecordRpcTimeout(*call.request);
   network_.tracer().EndSpan(call.attempt_span, network_.simulator().Now(),
                             "timeout");
   ErasedCallback callback = std::move(call.callback);

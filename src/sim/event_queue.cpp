@@ -1,39 +1,116 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace peertrack::sim {
 
+namespace {
+/// 4-ary layout: children of i are 4i+1..4i+4. A wider fanout halves tree
+/// depth versus binary, and with 24-byte POD nodes the four children share
+/// at most two cache lines, so the extra comparisons per level are cheaper
+/// than the extra levels they remove.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
 EventHandle EventQueue::Push(Time time, util::UniqueFunction<void()> action) {
-  auto flag = std::make_shared<bool>(false);
-  heap_.push(Node{time, next_seq_++, std::move(action), flag});
-  return EventHandle(flag);
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  heap_.push_back(HeapNode{time, next_seq_++, slot, s.generation});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  return EventHandle(this, slot, s.generation);
 }
 
-void EventQueue::DropCancelled() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    // priority_queue::top() is const; const_cast is the standard idiom for
-    // moving out of a heap of move-only payloads we are about to pop.
-    auto& node = const_cast<Node&>(heap_.top());
-    auto discard = std::move(node.action);
-    heap_.pop();
+void EventQueue::CancelSlot(std::uint32_t slot, std::uint32_t generation) noexcept {
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return;  // Already fired or already cancelled.
   }
-}
-
-bool EventQueue::Empty() {
-  DropCancelled();
-  return heap_.empty();
+  // Move the action out before releasing the slot: its destructor may
+  // re-enter the queue (captured handles cancelling other events), so run
+  // it only after our bookkeeping is consistent.
+  auto discard = std::move(slots_[slot].action);
+  ReleaseSlot(slot);
+  --live_;
+  // The heap record goes stale (generation mismatch) and is dropped when it
+  // reaches the top.
 }
 
 Time EventQueue::NextTime() {
-  DropCancelled();
-  return heap_.top().time;
+  assert(!Empty() && "EventQueue::NextTime on empty queue");
+  DropStaleTop();
+  return heap_.front().time;
 }
 
 EventQueue::Entry EventQueue::Pop() {
-  DropCancelled();
-  auto& node = const_cast<Node&>(heap_.top());
-  Entry entry{node.time, std::move(node.action)};
-  heap_.pop();
+  assert(!Empty() && "EventQueue::Pop on empty queue");
+  DropStaleTop();
+  const HeapNode top = heap_.front();
+  Entry entry{top.time, std::move(slots_[top.slot].action)};
+  // Release before running anything: bumping the generation here makes a
+  // Cancel() issued by the action itself (e.g. a flush cancelling its own
+  // timer) a clean mismatch no-op.
+  ReleaseSlot(top.slot);
+  --live_;
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
   return entry;
+}
+
+std::uint32_t EventQueue::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t slot) noexcept {
+  ++slots_[slot].generation;
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::DropStaleTop() noexcept {
+  while (!heap_.empty()) {
+    const HeapNode& top = heap_.front();
+    if (slots_[top.slot].generation == top.generation) return;
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+}
+
+void EventQueue::SiftUp(std::size_t index) noexcept {
+  const HeapNode node = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!Earlier(node, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = node;
+}
+
+void EventQueue::SiftDown(std::size_t index) noexcept {
+  const HeapNode node = heap_[index];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = index * kArity + 1;
+    if (first_child >= size) break;
+    const std::size_t last_child = std::min(first_child + kArity, size);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!Earlier(heap_[best], node)) break;
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  heap_[index] = node;
 }
 
 }  // namespace peertrack::sim

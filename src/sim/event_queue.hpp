@@ -1,16 +1,27 @@
 #pragma once
 // Pending-event set for the discrete-event simulator.
 //
-// A binary min-heap ordered by (time, sequence). The sequence number makes
-// ordering of simultaneous events deterministic (FIFO within a timestamp),
-// which the reproducibility guarantees of the whole repo rest on.
-// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
-// on pop, so Cancel() is O(1).
+// A 4-ary min-heap of POD records ordered by (time, sequence). The sequence
+// number makes ordering of simultaneous events deterministic (FIFO within a
+// timestamp), which the reproducibility guarantees of the whole repo rest
+// on.
+//
+// Actions live in a slot arena beside the heap, not in the heap itself:
+// heap records are 24-byte PODs {time, seq, slot, generation}, so sift
+// operations move trivially-copyable values instead of type-erased
+// closures, and a push performs no allocation once the arena and heap have
+// reached steady-state size. Cancellation is O(1) and generation-stamped —
+// EventHandle remembers (slot, generation); a slot's generation bumps every
+// time it is freed, so cancelling an already-fired (or already-cancelled)
+// event is a harmless generation mismatch rather than a stale-pointer
+// hazard. Cancelled heap records are dropped lazily when they surface at
+// the top, but the action itself is destroyed eagerly at Cancel() so
+// captured resources (message payloads, rpc state) are not pinned until
+// the record drains.
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/unique_function.hpp"
@@ -20,33 +31,42 @@ namespace peertrack::sim {
 /// Simulated time in milliseconds.
 using Time = double;
 
+class EventQueue;
+
 /// Handle for cancelling a scheduled event. Default-constructed handles are
-/// inert.
+/// inert. Handles are trivially copyable; every copy refers to the same
+/// scheduled event. A handle must not outlive its EventQueue.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Marks the event as cancelled; no-op if already fired or cancelled.
-  void Cancel() noexcept {
-    if (cancelled_) *cancelled_ = true;
-  }
+  /// Cancels the event; no-op if it already fired or was already cancelled.
+  void Cancel() noexcept;
 
-  bool Valid() const noexcept { return cancelled_ != nullptr; }
+  bool Valid() const noexcept { return queue_ != nullptr; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Schedule `action` at absolute time `time`. Returns a cancellation
   /// handle.
   EventHandle Push(Time time, util::UniqueFunction<void()> action);
 
-  /// True when no live (non-cancelled) events remain.
-  bool Empty();
+  /// True when no live (non-cancelled) events remain. O(1).
+  bool Empty() const noexcept { return live_ == 0; }
 
   /// Earliest live event time. Precondition: !Empty().
   Time NextTime();
@@ -59,29 +79,52 @@ class EventQueue {
   };
   Entry Pop();
 
-  /// Number of heap entries, including cancelled-but-not-yet-dropped ones
-  /// (cancellation is lazy); an upper bound on live events.
-  std::size_t PendingCount() const noexcept { return heap_.size(); }
+  /// Number of live (non-cancelled, non-fired) events.
+  std::size_t PendingCount() const noexcept { return live_; }
 
  private:
-  struct Node {
+  friend class EventHandle;
+
+  /// Heap records are PODs; the action lives in slots_[slot]. A record is
+  /// stale (cancelled or superseded) iff its generation no longer matches
+  /// the slot's.
+  struct HeapNode {
     Time time;
     std::uint64_t seq;
-    // unique_ptr keeps Node movable even though move_only_function is.
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+
+  struct Slot {
     util::UniqueFunction<void()> action;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Node& a, const Node& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t generation = 0;
   };
 
-  void DropCancelled();
+  static bool Earlier(const HeapNode& a, const HeapNode& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Node, std::vector<Node>, Later> heap_;
+  void CancelSlot(std::uint32_t slot, std::uint32_t generation) noexcept;
+  std::uint32_t AcquireSlot();
+  /// Bumps the slot's generation (invalidating outstanding handles and heap
+  /// records) and recycles it.
+  void ReleaseSlot(std::uint32_t slot) noexcept;
+  /// Removes stale records until a live one is at the top. Precondition:
+  /// live_ > 0 (a live record exists somewhere in the heap).
+  void DropStaleTop() noexcept;
+  void SiftUp(std::size_t index) noexcept;
+  void SiftDown(std::size_t index) noexcept;
+
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
 };
+
+inline void EventHandle::Cancel() noexcept {
+  if (queue_ != nullptr) queue_->CancelSlot(slot_, generation_);
+}
 
 }  // namespace peertrack::sim

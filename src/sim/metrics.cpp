@@ -1,5 +1,6 @@
 #include "sim/metrics.hpp"
 
+#include "sim/network.hpp"
 #include "util/format.hpp"
 
 namespace peertrack::sim {
@@ -16,6 +17,13 @@ obs::HistogramOptions HopHistogramOptions() {
   return options;
 }
 
+/// The per-type accounting names Counter() recognizes, mapped to the slot
+/// field they read.
+constexpr std::string_view kRpcRetryPrefix = "rpc.retry:";
+constexpr std::string_view kRpcTimeoutPrefix = "rpc.timeout:";
+constexpr std::string_view kDropLossPrefix = "drop.loss:";
+constexpr std::string_view kDropDownPrefix = "drop.down:";
+
 }  // namespace
 
 void Metrics::BumpPerActor(std::vector<std::uint64_t>& v, ActorId id,
@@ -25,13 +33,43 @@ void Metrics::BumpPerActor(std::vector<std::uint64_t>& v, ActorId id,
   v[id] += by;
 }
 
+Metrics::TypeSlot& Metrics::SlotFor(const Message& message) {
+  const MsgTypeId id = message.TypeId();
+  if (slots_.size() <= id) slots_.resize(id + 1);
+  TypeSlot& slot = slots_[id];
+  if (slot.name.empty()) slot.name = message.TypeName();
+  return slot;
+}
+
+const Metrics::TypeSlot* Metrics::FindSlot(std::string_view name) const noexcept {
+  // Linear scan over a few dozen slots; only rendering / test queries come
+  // through here, never the per-event path.
+  for (const TypeSlot& slot : slots_) {
+    if (!slot.name.empty() && slot.name == name) return &slot;
+  }
+  return nullptr;
+}
+
+void Metrics::RecordMessage(const Message& message, std::size_t bytes, ActorId from,
+                            ActorId to) {
+  ++total_messages_;
+  total_bytes_ += bytes;
+  TypeSlot& slot = SlotFor(message);
+  ++slot.count;
+  slot.bytes += bytes;
+  BumpPerActor(sent_per_actor_, from, 1);
+  BumpPerActor(received_per_actor_, to, 1);
+  BumpPerActor(sent_bytes_per_actor_, from, bytes);
+  BumpPerActor(received_bytes_per_actor_, to, bytes);
+}
+
 void Metrics::RecordMessage(std::string_view type, std::size_t bytes, ActorId from,
                             ActorId to) {
   ++total_messages_;
   total_bytes_ += bytes;
-  auto it = by_type_.find(type);
-  if (it == by_type_.end()) {
-    it = by_type_.emplace(std::string(type), TypeCounter{}).first;
+  auto it = extra_types_.find(type);
+  if (it == extra_types_.end()) {
+    it = extra_types_.emplace(std::string(type), TypeCounter{}).first;
   }
   ++it->second.count;
   it->second.bytes += bytes;
@@ -39,6 +77,17 @@ void Metrics::RecordMessage(std::string_view type, std::size_t bytes, ActorId fr
   BumpPerActor(received_per_actor_, to, 1);
   BumpPerActor(sent_bytes_per_actor_, from, bytes);
   BumpPerActor(received_bytes_per_actor_, to, bytes);
+}
+
+void Metrics::RecordDrop(const Message& message, DropReason reason) {
+  TypeSlot& slot = SlotFor(message);
+  if (reason == DropReason::kLoss) {
+    ++dropped_loss_;
+    ++slot.drop_loss;
+  } else {
+    ++dropped_down_;
+    ++slot.drop_down;
+  }
 }
 
 void Metrics::RecordDrop(std::string_view type, DropReason reason) {
@@ -51,9 +100,19 @@ void Metrics::RecordDrop(std::string_view type, DropReason reason) {
   }
 }
 
+void Metrics::RecordRpcRetry(const Message& request) {
+  ++rpc_retries_;
+  ++SlotFor(request).rpc_retry;
+}
+
 void Metrics::RecordRpcRetry(std::string_view type) {
   ++rpc_retries_;
   Bump(util::Format("rpc.retry:{}", type));
+}
+
+void Metrics::RecordRpcTimeout(const Message& request) {
+  ++rpc_timeouts_;
+  ++SlotFor(request).rpc_timeout;
 }
 
 void Metrics::RecordRpcTimeout(std::string_view type) {
@@ -63,8 +122,11 @@ void Metrics::RecordRpcTimeout(std::string_view type) {
 
 void Metrics::RecordLookupHops(std::size_t hops) {
   lookup_hops_.Add(static_cast<double>(hops));
-  registry_.GetHistogram("chord.lookup_hops", HopHistogramOptions())
-      .Add(static_cast<double>(hops));
+  if (lookup_hops_hist_ == nullptr) {
+    lookup_hops_hist_ =
+        &registry_.GetHistogram("chord.lookup_hops", HopHistogramOptions());
+  }
+  lookup_hops_hist_->Add(static_cast<double>(hops));
 }
 
 void Metrics::RecordLatency(std::string_view name, double ms) {
@@ -80,15 +142,91 @@ void Metrics::Bump(std::string_view counter, std::uint64_t by) {
 }
 
 Metrics::TypeCounter Metrics::ForType(std::string_view type) const {
-  const auto it = by_type_.find(type);
-  return it == by_type_.end() ? TypeCounter{} : it->second;
+  TypeCounter result;
+  if (const TypeSlot* slot = FindSlot(type)) {
+    result.count += slot->count;
+    result.bytes += slot->bytes;
+  }
+  if (const auto it = extra_types_.find(type); it != extra_types_.end()) {
+    result.count += it->second.count;
+    result.bytes += it->second.bytes;
+  }
+  return result;
+}
+
+std::map<std::string, Metrics::TypeCounter, std::less<>> Metrics::ByType() const {
+  std::map<std::string, TypeCounter, std::less<>> merged = extra_types_;
+  for (const TypeSlot& slot : slots_) {
+    if (slot.name.empty() || slot.count == 0) continue;
+    TypeCounter& counter = merged[slot.name];
+    counter.count += slot.count;
+    counter.bytes += slot.bytes;
+  }
+  return merged;
+}
+
+std::map<std::string, std::uint64_t, std::less<>> Metrics::MergedCounters() const {
+  std::map<std::string, std::uint64_t, std::less<>> merged;
+  for (const auto& [name, counter] : registry_.counters()) {
+    if (counter.Value() != 0) merged[name] = counter.Value();
+  }
+  for (const TypeSlot& slot : slots_) {
+    if (slot.name.empty()) continue;
+    if (slot.drop_loss != 0) {
+      merged[util::Format("drop.loss:{}", slot.name)] += slot.drop_loss;
+    }
+    if (slot.drop_down != 0) {
+      merged[util::Format("drop.down:{}", slot.name)] += slot.drop_down;
+    }
+    if (slot.rpc_retry != 0) {
+      merged[util::Format("rpc.retry:{}", slot.name)] += slot.rpc_retry;
+    }
+    if (slot.rpc_timeout != 0) {
+      merged[util::Format("rpc.timeout:{}", slot.name)] += slot.rpc_timeout;
+    }
+  }
+  return merged;
 }
 
 std::uint64_t Metrics::Counter(std::string_view name) const {
-  return registry_.CounterValue(name);
+  std::uint64_t value = registry_.CounterValue(name);
+  const auto slot_field =
+      [&](std::string_view prefix,
+          std::uint64_t TypeSlot::*field) -> std::uint64_t {
+    if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix) {
+      return 0;
+    }
+    const TypeSlot* slot = FindSlot(name.substr(prefix.size()));
+    return slot != nullptr ? slot->*field : 0;
+  };
+  value += slot_field(kRpcRetryPrefix, &TypeSlot::rpc_retry);
+  value += slot_field(kRpcTimeoutPrefix, &TypeSlot::rpc_timeout);
+  value += slot_field(kDropLossPrefix, &TypeSlot::drop_loss);
+  value += slot_field(kDropDownPrefix, &TypeSlot::drop_down);
+  return value;
 }
 
-void Metrics::Reset() { *this = Metrics{}; }
+void Metrics::Reset() {
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  dropped_loss_ = 0;
+  dropped_down_ = 0;
+  rpc_retries_ = 0;
+  rpc_timeouts_ = 0;
+  for (TypeSlot& slot : slots_) {
+    // Keep the interned name; zero the counts.
+    std::string name = std::move(slot.name);
+    slot = TypeSlot{};
+    slot.name = std::move(name);
+  }
+  extra_types_.clear();
+  registry_.ResetValues();
+  lookup_hops_ = util::RunningStats{};
+  received_per_actor_.clear();
+  sent_per_actor_.clear();
+  received_bytes_per_actor_.clear();
+  sent_bytes_per_actor_.clear();
+}
 
 std::string Metrics::Summary() const {
   std::string out = util::Format(
@@ -96,7 +234,7 @@ std::string Metrics::Summary() const {
       "rpc_timeouts={}\n",
       total_messages_, total_bytes_, DroppedMessages(), dropped_loss_,
       dropped_down_, rpc_retries_, rpc_timeouts_);
-  for (const auto& [type, counter] : by_type_) {
+  for (const auto& [type, counter] : ByType()) {
     out += util::Format("  {:<24} count={:<10} bytes={}\n", type, counter.count,
                        counter.bytes);
   }
@@ -104,8 +242,8 @@ std::string Metrics::Summary() const {
     out += util::Format("  lookup hops: mean={:.2f} max={:.0f} n={}\n",
                        lookup_hops_.Mean(), lookup_hops_.Max(), lookup_hops_.Count());
   }
-  for (const auto& [name, value] : registry_.counters()) {
-    out += util::Format("  counter {:<22} {}\n", name, value.Value());
+  for (const auto& [name, value] : MergedCounters()) {
+    out += util::Format("  counter {:<22} {}\n", name, value);
   }
   for (const auto& [name, gauge] : registry_.gauges()) {
     out += util::Format("  gauge {:<24} {:.3f}\n", name, gauge.Value());
@@ -130,12 +268,12 @@ std::vector<std::vector<std::string>> Metrics::CsvRows() const {
   rows.push_back({"dropped_down_actor", std::to_string(dropped_down_)});
   rows.push_back({"rpc_retries", std::to_string(rpc_retries_)});
   rows.push_back({"rpc_timeouts", std::to_string(rpc_timeouts_)});
-  for (const auto& [type, counter] : by_type_) {
+  for (const auto& [type, counter] : ByType()) {
     rows.push_back({util::Format("count:{}", type), std::to_string(counter.count)});
     rows.push_back({util::Format("bytes:{}", type), std::to_string(counter.bytes)});
   }
-  for (const auto& [name, value] : registry_.counters()) {
-    rows.push_back({util::Format("counter:{}", name), std::to_string(value.Value())});
+  for (const auto& [name, value] : MergedCounters()) {
+    rows.push_back({util::Format("counter:{}", name), std::to_string(value)});
   }
   for (const auto& [name, gauge] : registry_.gauges()) {
     rows.push_back({util::Format("gauge:{}", name),

@@ -9,12 +9,21 @@
 // latency samples through the same object, so every bench reads cost
 // identically.
 //
+// Hot-path layout: per-type message accounting (counts, bytes, drops, rpc
+// retries/timeouts) is keyed by the dense sim::MsgTypeId and lives in a
+// flat array of slots — recording a message is an index plus a few adds,
+// with no string hashing or map walk per event. The type *name* is
+// interned into the slot on first sight and only touched again when
+// rendering. String-keyed overloads remain for synthetic charge types
+// (e.g. DataTriangle's modeled rpc exchanges) that have no Message class.
+//
 // Named counters and latency distributions live in an obs::Registry of
 // typed instruments (Counter / Gauge / log-bucketed Histogram with
-// p50/p95/p99), replacing the ad-hoc string->uint64 map this class used to
-// keep. Summary() and CsvRows() render the same surface as before on top
-// of the registry, and obs::TimeSeriesSampler can snapshot the whole
-// registry into time-series rows during a run.
+// p50/p95/p99). Instruments never move once created, so protocol hot loops
+// cache `obs::Counter&` references instead of re-resolving names; Reset()
+// zeroes values in place precisely so those cached references survive the
+// warm-up/measure boundary. Summary() and CsvRows() render the same
+// surface as before on top of both stores.
 
 #include <cstdint>
 #include <map>
@@ -25,6 +34,8 @@
 #include "util/stats.hpp"
 
 namespace peertrack::sim {
+
+class Message;
 
 using ActorId = std::uint32_t;
 constexpr ActorId kInvalidActor = 0xFFFFFFFFu;
@@ -42,17 +53,27 @@ class Metrics {
     kDownActor,  ///< Destination was down at delivery time.
   };
 
-  /// Record a remote message of `type` and total wire size `bytes`.
+  /// Record a remote message and its total wire size. The fast path: type
+  /// accounting is a dense-id array index.
+  void RecordMessage(const Message& message, std::size_t bytes, ActorId from,
+                     ActorId to);
+
+  /// Record a remote message by type name — for synthetic charge types
+  /// without a Message class (cost modeling). Map-keyed; keep off per-event
+  /// hot paths.
   void RecordMessage(std::string_view type, std::size_t bytes, ActorId from,
                      ActorId to);
 
   /// Record a dropped message, attributed to its cause.
+  void RecordDrop(const Message& message, DropReason reason);
   void RecordDrop(std::string_view type, DropReason reason);
 
   /// Record one RPC attempt re-sent after an unanswered deadline.
+  void RecordRpcRetry(const Message& request);
   void RecordRpcRetry(std::string_view type);
 
   /// Record one RPC that exhausted its attempts and failed to its caller.
+  void RecordRpcTimeout(const Message& request);
   void RecordRpcTimeout(std::string_view type);
 
   /// Record the hop count of one completed DHT lookup.
@@ -63,7 +84,8 @@ class Metrics {
   void RecordLatency(std::string_view name, double ms);
 
   /// Bump a named counter (protocol-level events that are not messages,
-  /// e.g. "window_flush", "triangle_split").
+  /// e.g. "window_flush", "triangle_split"). Per-event hot paths should
+  /// instead cache `registry().GetCounter(name)` once — see class comment.
   void Bump(std::string_view counter, std::uint64_t by = 1);
 
   std::uint64_t TotalMessages() const noexcept { return total_messages_; }
@@ -80,11 +102,14 @@ class Metrics {
   /// Count/bytes for one message type (zeroes when never seen).
   TypeCounter ForType(std::string_view type) const;
 
-  /// All message types seen, sorted by name.
-  const std::map<std::string, TypeCounter, std::less<>>& ByType() const noexcept {
-    return by_type_;
-  }
+  /// All message types seen (dense-id slots merged with synthetic string
+  /// types), sorted by name.
+  std::map<std::string, TypeCounter, std::less<>> ByType() const;
 
+  /// Named counter value. Understands the per-type accounting names
+  /// ("rpc.retry:<type>", "rpc.timeout:<type>", "drop.loss:<type>",
+  /// "drop.down:<type>") in addition to registry counters, so callers keep
+  /// one query surface even though per-type counts live in dense slots.
   std::uint64_t Counter(std::string_view name) const;
 
   /// The instrument registry backing named counters and latency
@@ -117,7 +142,9 @@ class Metrics {
     return sent_bytes_per_actor_;
   }
 
-  /// Zero everything (used between warm-up and measured phases).
+  /// Zero everything (used between warm-up and measured phases). In-place:
+  /// instrument identities — and therefore references cached from
+  /// registry() — remain valid; only values reset.
   void Reset();
 
   /// Multi-line human-readable dump.
@@ -130,8 +157,27 @@ class Metrics {
   std::vector<std::vector<std::string>> CsvRows() const;
 
  private:
+  /// Per-message-type accounting, indexed by MsgTypeId. `name` is interned
+  /// on the slot's first use; a default-constructed slot (empty name) is a
+  /// type id this metrics instance never saw.
+  struct TypeSlot {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drop_loss = 0;
+    std::uint64_t drop_down = 0;
+    std::uint64_t rpc_retry = 0;
+    std::uint64_t rpc_timeout = 0;
+    std::string name;
+  };
+
   static void BumpPerActor(std::vector<std::uint64_t>& v, ActorId id,
                            std::uint64_t by);
+
+  TypeSlot& SlotFor(const Message& message);
+  const TypeSlot* FindSlot(std::string_view name) const noexcept;
+  /// Registry counters merged with the per-type drop/rpc slot counts,
+  /// rendered under the legacy "drop.loss:<type>"-style names.
+  std::map<std::string, std::uint64_t, std::less<>> MergedCounters() const;
 
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
@@ -139,8 +185,10 @@ class Metrics {
   std::uint64_t dropped_down_ = 0;
   std::uint64_t rpc_retries_ = 0;
   std::uint64_t rpc_timeouts_ = 0;
-  std::map<std::string, TypeCounter, std::less<>> by_type_;
+  std::vector<TypeSlot> slots_;
+  std::map<std::string, TypeCounter, std::less<>> extra_types_;
   obs::Registry registry_;
+  obs::Histogram* lookup_hops_hist_ = nullptr;
   util::RunningStats lookup_hops_;
   std::vector<std::uint64_t> received_per_actor_;
   std::vector<std::uint64_t> sent_per_actor_;

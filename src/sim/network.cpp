@@ -33,13 +33,13 @@ void Network::Send(ActorId from, ActorId to, std::unique_ptr<Message> message) {
   if (from != to) {
     delay = latency_.Sample(rng_);
     const std::size_t bytes = kMessageHeaderBytes + message->ApproxBytes();
-    metrics_.RecordMessage(message->TypeName(), bytes, from, to);
+    metrics_.RecordMessage(*message, bytes, from, to);
     if (tracer_.Enabled()) {
       tracer_.RecordMessage(simulator_.Now(), from, to, message->TypeName(), bytes,
                             message->trace);
     }
     if (loss_rate_ > 0.0 && rng_.NextBool(loss_rate_)) {
-      metrics_.RecordDrop(message->TypeName(), Metrics::DropReason::kLoss);
+      metrics_.RecordDrop(*message, Metrics::DropReason::kLoss);
       return;  // Lost on the wire; the sender still paid for it.
     }
   }
@@ -47,7 +47,7 @@ void Network::Send(ActorId from, ActorId to, std::unique_ptr<Message> message) {
       delay, [this, from, to, msg = std::move(message)]() mutable {
         Slot& slot = actors_[to];
         if (!slot.up || slot.actor == nullptr) {
-          metrics_.RecordDrop(msg->TypeName(), Metrics::DropReason::kDownActor);
+          metrics_.RecordDrop(*msg, Metrics::DropReason::kDownActor);
           return;
         }
         slot.actor->OnMessage(from, std::move(msg));
@@ -61,15 +61,22 @@ void Network::SendInstant(ActorId from, ActorId to, std::unique_ptr<Message> mes
   }
   if (from != to) {
     const std::size_t bytes = kMessageHeaderBytes + message->ApproxBytes();
-    metrics_.RecordMessage(message->TypeName(), bytes, from, to);
+    metrics_.RecordMessage(*message, bytes, from, to);
     if (tracer_.Enabled()) {
       tracer_.RecordMessage(simulator_.Now(), from, to, message->TypeName(), bytes,
                             message->trace);
     }
+    // Instant sends still cross the wire: roll the same loss model as
+    // Send(). (This used to be skipped, silently making every SendInstant
+    // reliable under failure injection.)
+    if (loss_rate_ > 0.0 && rng_.NextBool(loss_rate_)) {
+      metrics_.RecordDrop(*message, Metrics::DropReason::kLoss);
+      return;
+    }
   }
   Slot& slot = actors_[to];
   if (!slot.up || slot.actor == nullptr) {
-    metrics_.RecordDrop(message->TypeName(), Metrics::DropReason::kDownActor);
+    metrics_.RecordDrop(*message, Metrics::DropReason::kDownActor);
     return;
   }
   slot.actor->OnMessage(from, std::move(message));

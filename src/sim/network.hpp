@@ -14,6 +14,7 @@
 
 #include "obs/trace.hpp"
 #include "sim/latency_model.hpp"
+#include "sim/message_pool.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -55,6 +56,14 @@ class Message {
   virtual MsgTypeId TypeId() const noexcept = 0;
   virtual std::string_view TypeName() const noexcept = 0;
   virtual std::size_t ApproxBytes() const noexcept = 0;
+
+  /// Messages are allocated and freed millions of times per sweep, almost
+  /// always via make_unique at a send site; route them through the
+  /// size-class freelist pool. The pool's header records the size class,
+  /// so deleting through this base pointer needs no size. Compiled out
+  /// (plain new/delete) under sanitizers — see message_pool.hpp.
+  static void* operator new(std::size_t size) { return MessagePool::Allocate(size); }
+  static void operator delete(void* ptr) noexcept { MessagePool::Deallocate(ptr); }
 
   /// Causal trace context this message belongs to (invalid when tracing is
   /// off or the message is outside any traced operation). Copied along by

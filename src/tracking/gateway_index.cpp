@@ -4,15 +4,6 @@
 
 namespace peertrack::tracking {
 
-const IndexEntry* PrefixBucket::Find(const hash::UInt160& object) const {
-  const auto it = entries_.find(object);
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-void PrefixBucket::Upsert(const hash::UInt160& object, const IndexEntry& entry) {
-  entries_[object] = entry;
-}
-
 std::optional<IndexEntry> PrefixBucket::Extract(const hash::UInt160& object) {
   const auto it = entries_.find(object);
   if (it == entries_.end()) return std::nullopt;
@@ -47,10 +38,6 @@ std::vector<std::pair<hash::UInt160, IndexEntry>> PrefixBucket::ExtractAll() {
   for (const auto& [key, entry] : entries_) all.emplace_back(key, entry);
   entries_.clear();
   return all;
-}
-
-PrefixBucket& PrefixIndexStore::BucketFor(const hash::Prefix& prefix) {
-  return buckets_[prefix];
 }
 
 PrefixBucket* PrefixIndexStore::TryBucket(const hash::Prefix& prefix) {

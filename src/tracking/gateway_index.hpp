@@ -32,8 +32,15 @@ class PrefixBucket {
   using EntryMap =
       std::unordered_map<hash::UInt160, IndexEntry, hash::UInt160Hasher>;
 
-  const IndexEntry* Find(const hash::UInt160& object) const;
-  void Upsert(const hash::UInt160& object, const IndexEntry& entry);
+  // Find/Upsert are inline: group-mode indexing runs both per object per
+  // GroupArrival, and the out-of-line call cost shows up in profiles.
+  const IndexEntry* Find(const hash::UInt160& object) const {
+    const auto it = entries_.find(object);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  void Upsert(const hash::UInt160& object, const IndexEntry& entry) {
+    entries_[object] = entry;
+  }
   /// Removes and returns the entry if present.
   std::optional<IndexEntry> Extract(const hash::UInt160& object);
 
@@ -57,7 +64,7 @@ class PrefixBucket {
 class PrefixIndexStore {
  public:
   /// Bucket for `prefix`, created on demand.
-  PrefixBucket& BucketFor(const hash::Prefix& prefix);
+  PrefixBucket& BucketFor(const hash::Prefix& prefix) { return buckets_[prefix]; }
 
   /// Bucket if it exists (no creation).
   PrefixBucket* TryBucket(const hash::Prefix& prefix);

@@ -36,8 +36,16 @@ struct RoutedEnvelope final : sim::MessageBase<RoutedEnvelope> {
 
   std::string_view TypeName() const noexcept override { return "track.routed"; }
   std::size_t ApproxBytes() const noexcept override {
-    return 20 + (inner ? inner->ApproxBytes() : 0);
+    // Accounted once per overlay hop; the inner payload is immutable while
+    // the envelope is in flight, so the virtual chain is walked only once.
+    if (cached_bytes_ == 0) {
+      cached_bytes_ = 20 + (inner ? inner->ApproxBytes() : 0);
+    }
+    return cached_bytes_;
   }
+
+ private:
+  mutable std::size_t cached_bytes_ = 0;
 };
 
 /// M1 (individual indexing): object `object` arrived at `at` (time

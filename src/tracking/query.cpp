@@ -60,7 +60,7 @@ void TrackerNode::StartQuery(const hash::UInt160& object, PendingQuery query) {
     query.timeout = chord_.network().simulator().ScheduleAfter(
         config_.query_timeout_ms, [this, query_id] {
           if (queries_.contains(query_id)) {
-            chord_.network().metrics().Bump("track.query_timeout");
+            ctr_query_timeout_.Add();
             FinishQuery(query_id, false);
           }
         });
@@ -162,7 +162,7 @@ std::unique_ptr<TraceProbeReply> TrackerNode::HandleProbe(const TraceProbe& prob
     if (entry == nullptr && config_.replicate_index) {
       entry = ReplicaLookup(probe.object);
       if (entry != nullptr) {
-        chord_.network().metrics().Bump("track.replica_hit");
+        ctr_replica_hit_.Add();
       }
     }
     if (entry != nullptr) {
@@ -252,7 +252,7 @@ void TrackerNode::HandleProbeTimeout(std::uint64_t query_id) {
                                     chord_.network().simulator().Now(),
                                     "timeout");
   it->second.stage = obs::TraceContext{};
-  chord_.network().metrics().Bump("track.probe_timeout");
+  ctr_probe_timeout_.Add();
   FinishQuery(query_id, false);
 }
 
@@ -406,7 +406,7 @@ void TrackerNode::HandleWalkTimeout(std::uint64_t query_id) {
                                     chord_.network().simulator().Now(),
                                     "timeout");
   query.stage = obs::TraceContext{};
-  chord_.network().metrics().Bump("track.walk_timeout");
+  ctr_walk_timeout_.Add();
   if (query.walking_backward && query.forward_pending) {
     query.walking_backward = false;
     WalkStep(query_id);

@@ -13,7 +13,21 @@ TrackerNode::TrackerNode(chord::ChordNode& chord, PeerDirectory& peers,
       rpc_(chord.network()),
       server_(chord.network()),
       window_(config.window),
-      flood_(chord.network(), chord.Self(), iop_) {
+      flood_(chord.network(), chord.Self(), iop_),
+      ctr_window_flush_(
+          chord.network().metrics().registry().GetCounter("track.window_flush")),
+      ctr_group_handled_(
+          chord.network().metrics().registry().GetCounter("track.group_handled")),
+      ctr_stale_arrival_(
+          chord.network().metrics().registry().GetCounter("track.stale_arrival")),
+      ctr_query_timeout_(
+          chord.network().metrics().registry().GetCounter("track.query_timeout")),
+      ctr_replica_hit_(
+          chord.network().metrics().registry().GetCounter("track.replica_hit")),
+      ctr_probe_timeout_(
+          chord.network().metrics().registry().GetCounter("track.probe_timeout")),
+      ctr_walk_timeout_(
+          chord.network().metrics().registry().GetCounter("track.walk_timeout")) {
   chord_.SetAppHandler(this);
   rpc_.Bind(Self().actor);
   server_.Bind(Self().actor);
@@ -120,7 +134,7 @@ void TrackerNode::FlushWindow() {
   ++window_generation_;
   window_timer_.Cancel();
   auto groups = window_.CloseAndGroup(CurrentLp());
-  chord_.network().metrics().Bump("track.window_flush");
+  ctr_window_flush_.Add();
   obs::Tracer& tracer = chord_.network().tracer();
   for (auto& [prefix, members] : groups) {
     auto report = std::make_unique<GroupArrival>();
@@ -197,7 +211,7 @@ void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
     // Report older than the index: cross-node reordering. Linking it into
     // the middle of the list is ambiguous from latest-only state; record
     // the anomaly and treat it as a first appearance for IOP purposes.
-    chord_.network().metrics().Bump("track.stale_arrival");
+    ctr_stale_arrival_.Add();
   }
   m3->items.push_back(item);
   chord_.network().Send(Self().actor, arrival.at.actor, std::move(m3));
@@ -214,7 +228,7 @@ void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
 void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
   objects_indexed_ += arrival.objects.size();
   const obs::ScopedLogTrace log_scope(arrival.trace);
-  chord_.network().metrics().Bump("track.group_handled");
+  ctr_group_handled_.Add();
   PrefixBucket& bucket = store_.BucketFor(arrival.prefix);
 
   // Figure 5, `index`: objects with no local record are refreshed from
@@ -254,7 +268,7 @@ void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
       }
       batch->items.push_back({object, arrival.at, arrived});
     } else if (previous != nullptr) {
-      chord_.network().metrics().Bump("track.stale_arrival");
+      ctr_stale_arrival_.Add();
     }
     m3->items.push_back(item);
     if (previous == nullptr || previous->latest_arrived <= arrived) {

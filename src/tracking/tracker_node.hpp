@@ -311,6 +311,19 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   std::unordered_map<std::uint64_t, PendingQuery> queries_;
   FloodingQueryEngine flood_;
 
+  /// Cached instrument references: these counters are bumped once per
+  /// capture/group/query event, so the name is resolved once here instead
+  /// of per bump. Registry instruments never move, and Metrics::Reset()
+  /// zeroes values in place, so the references stay valid for the node's
+  /// lifetime.
+  obs::Counter& ctr_window_flush_;
+  obs::Counter& ctr_group_handled_;
+  obs::Counter& ctr_stale_arrival_;
+  obs::Counter& ctr_query_timeout_;
+  obs::Counter& ctr_replica_hit_;
+  obs::Counter& ctr_probe_timeout_;
+  obs::Counter& ctr_walk_timeout_;
+
   /// Prefixes whose entries this gateway has pushed down to child
   /// gateways. refresh_from_descent / the triangle lookup only probe
   /// children for marked prefixes — the gateway is the only writer of its

@@ -1,0 +1,72 @@
+#include "workload/perf_smoke.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "tracking/tracking_system.hpp"
+#include "workload/scenario.hpp"
+
+namespace peertrack::workload {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+PerfSmokeReport RunPerfSmoke(const PerfSmokeParams& params) {
+  PerfSmokeReport report;
+
+  auto mark = std::chrono::steady_clock::now();
+  tracking::SystemConfig config;
+  config.tracker.mode = tracking::IndexingMode::kGroup;
+  config.tracker.window.tmax_ms = 1000.0;
+  config.tracker.window.nmax = 8192;
+  config.seed = params.seed;
+  const std::size_t nodes = std::max<std::size_t>(params.nodes, 2);
+  auto system = std::make_unique<tracking::TrackingSystem>(nodes, config);
+  report.wall_build_ms = ElapsedMs(mark);
+
+  mark = std::chrono::steady_clock::now();
+  MovementParams movement;
+  movement.nodes = nodes;
+  movement.objects_per_node = std::max<std::size_t>(params.objects / nodes, 1);
+  movement.move_fraction = 0.10;
+  movement.trace_length = 10;
+  movement.move_in_groups = true;
+  movement.step_ms = 4000.0;
+  const ScenarioResult scenario =
+      ExecuteScenario(*system, movement, params.seed ^ 0xE9C5EEDULL);
+  report.captures = scenario.captures;
+  report.wall_index_ms = ElapsedMs(mark);
+
+  mark = std::chrono::steady_clock::now();
+  util::Rng query_rng(params.seed ^ 0x9E3779B97F4A7C15ULL);
+  for (std::size_t i = 0; i < params.queries; ++i) {
+    const hash::UInt160& object =
+        scenario.object_keys[query_rng.NextBelow(scenario.object_keys.size())];
+    const auto origin = static_cast<std::size_t>(query_rng.NextBelow(nodes));
+    bool ok = false;
+    system->TraceQuery(origin, object,
+                       [&ok](tracking::TrackerNode::TraceResult result) {
+                         ok = result.ok;
+                       });
+    system->Run();
+    ++(ok ? report.queries_ok : report.queries_failed);
+  }
+  report.wall_query_ms = ElapsedMs(mark);
+
+  report.events = system->simulator().ProcessedEvents();
+  report.messages = system->metrics().TotalMessages();
+  report.bytes = system->metrics().TotalBytes();
+  report.sim_time_ms = system->simulator().Now();
+  report.metric_rows = system->metrics().CsvRows();
+  return report;
+}
+
+}  // namespace peertrack::workload

@@ -1,0 +1,57 @@
+#pragma once
+// Fixed-seed, fixed-scale performance scenario ("perf smoke").
+//
+// One canonical run that every PR can measure: build a converged
+// group-indexing TrackingSystem, drive the Section V movement workload
+// through it, then issue a batch of trace queries. The scenario is
+// deterministic given its params (seeded RNG, (time, seq) event
+// tie-breaking), so two same-seed runs must produce bit-identical
+// Metrics::CsvRows() — the determinism regression test asserts exactly
+// that, and bench/perf_smoke times the run and writes BENCH.json so the
+// repo records its performance trajectory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peertrack::workload {
+
+struct PerfSmokeParams {
+  std::size_t nodes = 256;    ///< Organizations in the ring.
+  std::size_t objects = 512000; ///< Total tracked objects (spread over nodes):
+                                ///< 2000 per node at the default 256 nodes —
+                                ///< ~5M events, ~10s at the pre-pass baseline,
+                                ///< big enough that kernel changes move the
+                                ///< needle well past run-to-run noise.
+  std::size_t queries = 100;  ///< Trace queries after the indexing phase.
+  std::uint64_t seed = 0xBE9C5ULL;
+};
+
+struct PerfSmokeReport {
+  // Simulation-side volume (deterministic across same-seed runs).
+  std::uint64_t events = 0;    ///< Simulator events processed end-to-end.
+  std::uint64_t messages = 0;  ///< Remote messages sent (index + query phases).
+  std::uint64_t bytes = 0;     ///< Wire bytes for those messages.
+  std::uint64_t captures = 0;  ///< Workload captures driven into receptors.
+  std::size_t queries_ok = 0;
+  std::size_t queries_failed = 0;
+  double sim_time_ms = 0.0;    ///< Final simulated clock.
+
+  // Host-side wall-clock timings (informational; never fed back into the
+  // simulation, so they cannot perturb determinism).
+  double wall_build_ms = 0.0;  ///< System construction + ring convergence.
+  double wall_index_ms = 0.0;  ///< Movement workload (capture -> index).
+  double wall_query_ms = 0.0;  ///< Query batch.
+  double WallTotalMs() const noexcept {
+    return wall_build_ms + wall_index_ms + wall_query_ms;
+  }
+
+  /// Full Metrics::CsvRows() dump at the end of the run; the determinism
+  /// test compares this row-for-row between same-seed runs.
+  std::vector<std::vector<std::string>> metric_rows;
+};
+
+/// Run the scenario. Deterministic given `params`.
+PerfSmokeReport RunPerfSmoke(const PerfSmokeParams& params);
+
+}  // namespace peertrack::workload

@@ -77,5 +77,91 @@ TEST(EventQueue, CancelAfterFireIsNoOp) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(EventQueue, CancelSoleEventLeavesQueueUsable) {
+  // Regression: NextTime()/Pop() used to dereference the heap top after
+  // dropping cancelled entries without re-checking emptiness — undefined
+  // behaviour when the only pending event had been cancelled. Empty() must
+  // report true and the queue must accept and serve new events afterwards.
+  EventQueue q;
+  auto handle = q.Push(5.0, [] {});
+  handle.Cancel();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.PendingCount(), 0u);
+  bool fired = false;
+  q.Push(7.0, [&] { fired = true; });
+  ASSERT_FALSE(q.Empty());
+  EXPECT_DOUBLE_EQ(q.NextTime(), 7.0);
+  q.Pop().action();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, StaleHandleDoesNotCancelReusedSlot) {
+  // A fired event's internal slot may be recycled by a later push; the old
+  // handle's generation no longer matches, so cancelling it must not touch
+  // the new event.
+  EventQueue q;
+  auto stale = q.Push(1.0, [] {});
+  q.Pop().action();  // Slot freed, eligible for reuse.
+  bool fired = false;
+  q.Push(2.0, [&] { fired = true; });
+  stale.Cancel();  // Must be a no-op even if the slot was reused.
+  ASSERT_FALSE(q.Empty());
+  q.Pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ActionCancellingItsOwnHandleIsNoOp) {
+  // The window-flush pattern: a timer action cancels the handle of the
+  // very event that is executing. The slot is released before the action
+  // runs, so this must be a clean generation-mismatch no-op.
+  EventQueue q;
+  EventHandle self;
+  bool fired = false;
+  self = q.Push(1.0, [&] {
+    fired = true;
+    self.Cancel();
+  });
+  q.Pop().action();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  auto first = q.Push(1.0, [] {});
+  auto copy = first;
+  first.Cancel();
+  copy.Cancel();  // Second cancel through a handle copy: no-op.
+  EXPECT_TRUE(q.Empty());
+  q.Push(2.0, [] {});
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TEST(EventQueue, ManyInterleavedCancelsKeepOrder) {
+  // Cancel every other event across several timestamps; survivors must
+  // still pop in (time, FIFO) order with slots being recycled throughout.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      const int tag = round * 32 + i;
+      handles.push_back(q.Push(1.0 * i, [&order, tag] { order.push_back(tag); }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].Cancel();
+    while (!q.Empty()) q.Pop().action();
+    handles.clear();
+  }
+  ASSERT_EQ(order.size(), 4u * 16u);
+  // Within each round the survivors are the odd tags in increasing time
+  // order.
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t i = 1; i < 16; ++i) {
+      EXPECT_LT(order[round * 16 + i - 1], order[round * 16 + i]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace peertrack::sim

@@ -65,6 +65,46 @@ TEST(MessageLoss, ZeroAndFullRates) {
   EXPECT_DOUBLE_EQ(net.LossRate(), 1.0);
 }
 
+TEST(MessageLoss, SendInstantRollsLossModel) {
+  // Regression: SendInstant() recorded the message but never rolled the
+  // loss model, silently making every instant exchange reliable under
+  // failure injection. It must drop at the configured rate like Send().
+  sim::Simulator sim;
+  sim::ConstantLatency latency(1.0);
+  util::Rng rng(3);
+  sim::Network net(sim, latency, rng);
+  CountingActor a, b;
+  const auto ida = net.Register(a);
+  const auto idb = net.Register(b);
+
+  net.SetLossRate(0.25);
+  constexpr int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) {
+    net.SendInstant(ida, idb, std::make_unique<PingMessage>());
+  }
+  EXPECT_NEAR(b.received, kSends * 0.75, kSends * 0.05);
+  EXPECT_EQ(net.metrics().DroppedByLoss(),
+            static_cast<std::uint64_t>(kSends - b.received));
+  // Senders paid for every message, lost or not.
+  EXPECT_EQ(net.metrics().TotalMessages(), static_cast<std::uint64_t>(kSends));
+}
+
+TEST(MessageLoss, SendInstantSelfDeliveryIgnoresLoss) {
+  // Self-sends never touch the wire: no metric, no loss roll — even at
+  // loss rate 1.0 the local delivery happens.
+  sim::Simulator sim;
+  sim::ConstantLatency latency(1.0);
+  util::Rng rng(3);
+  sim::Network net(sim, latency, rng);
+  CountingActor a;
+  const auto ida = net.Register(a);
+  net.SetLossRate(1.0);
+  net.SendInstant(ida, ida, std::make_unique<PingMessage>());
+  EXPECT_EQ(a.received, 1);
+  EXPECT_EQ(net.metrics().TotalMessages(), 0u);
+  EXPECT_EQ(net.metrics().DroppedMessages(), 0u);
+}
+
 TEST(MessageLoss, ChordLookupsSurviveModerateLoss) {
   // Iterative lookups retry after hop timeouts, so moderate loss degrades
   // latency, not correctness.

@@ -93,5 +93,23 @@ TEST(Simulator, NegativeDelayClampsToZero) {
   EXPECT_DOUBLE_EQ(fired_at, 0.0);
 }
 
+TEST(Simulator, SurvivesWhenOnlyCancelledEventsRemain) {
+  // Regression: with every pending event cancelled, Run/RunUntil used to
+  // probe the queue's next time without an emptiness re-check after the
+  // cancelled entries were dropped (undefined behaviour). Both loops must
+  // simply see an empty queue.
+  Simulator sim;
+  auto only = sim.ScheduleAt(5.0, [] {});
+  only.Cancel();
+  EXPECT_EQ(sim.RunUntil(10.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+
+  auto again = sim.ScheduleAt(20.0, [] {});
+  again.Cancel();
+  EXPECT_EQ(sim.Run(), 0u);
+  EXPECT_FALSE(sim.Step());
+}
+
 }  // namespace
 }  // namespace peertrack::sim

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "hash/keyspace.hpp"
+#include "tracking/tracking_system.hpp"
 
 namespace peertrack::tracking {
 namespace {
@@ -80,6 +84,87 @@ TEST(CaptureWindow, LargePrefixSplitsToSingletons) {
   auto groups = window.CloseAndGroup(64);
   // 64-bit prefixes: collisions are cryptographically improbable.
   EXPECT_EQ(groups.size(), 16u);
+}
+
+// --- Adaptive-window boundary behaviour through a live TrackerNode ---------
+//
+// The pure-state tests above pin CaptureWindow's arithmetic; these pin the
+// owner's timer choreography (arm / generation guard / cancel-on-flush) at
+// the exact boundaries where it historically goes wrong: a capture landing
+// on the Tmax deadline tick, Nmax == 1 (every capture flushes, the timer
+// must never fire a stale window), and flush-then-recapture at the same
+// timestamp (the re-opened window must get its own timer).
+
+SystemConfig WindowSystemConfig(double tmax, std::size_t nmax) {
+  SystemConfig config;
+  config.tracker.mode = IndexingMode::kGroup;
+  config.tracker.window.tmax_ms = tmax;
+  config.tracker.window.nmax = nmax;
+  return config;
+}
+
+std::size_t TraceOk(TrackingSystem& system, const hash::UInt160& object) {
+  std::size_t ok = 0;
+  system.TraceQuery(0, object, [&](TrackerNode::TraceResult result) {
+    if (result.ok) ++ok;
+  });
+  system.Run();
+  return ok;
+}
+
+TEST(TrackerWindow, CaptureOnDeadlineTickJoinsTheClosingWindow) {
+  // The second capture is scheduled (at workload setup) for exactly the
+  // window's Tmax deadline. The capture event was pushed before the timer
+  // (which is armed when the first capture runs), so deterministic FIFO
+  // tie-breaking runs the capture first: it joins the window, then the
+  // timer flushes both in a single close.
+  TrackingSystem system(8, WindowSystemConfig(1000.0, 100));
+  const auto first = hash::ObjectKey("deadline-a");
+  const auto second = hash::ObjectKey("deadline-b");
+  system.CaptureAt(1, first, 0.0);
+  system.CaptureAt(1, second, 1000.0);  // Exactly OpenedAt + Tmax.
+  system.Run();
+  EXPECT_EQ(system.metrics().Counter("track.window_flush"), 1u);
+  EXPECT_EQ(TraceOk(system, first), 1u);
+  EXPECT_EQ(TraceOk(system, second), 1u);
+}
+
+TEST(TrackerWindow, NmaxOneFlushesEveryCaptureWithoutTimerFires) {
+  // Nmax == 1: Add() reports full on every capture, so each flush happens
+  // synchronously and the armed deadline timer must always find its
+  // generation stale. A timer misfire would either flush an empty window
+  // (visible as an extra window_flush) or double-report a group.
+  TrackingSystem system(8, WindowSystemConfig(500.0, 1));
+  std::vector<hash::UInt160> objects;
+  for (int i = 0; i < 5; ++i) {
+    objects.push_back(hash::ObjectKey("nmax1-" + std::to_string(i)));
+    system.CaptureAt(1, objects.back(), 10.0 * (i + 1));
+  }
+  system.Run();
+  EXPECT_EQ(system.metrics().Counter("track.window_flush"), 5u);
+  for (const auto& object : objects) {
+    EXPECT_EQ(TraceOk(system, object), 1u);
+  }
+}
+
+TEST(TrackerWindow, FlushThenRecaptureAtSameTimestampReopensWindow) {
+  // Two captures at t=10 fill an Nmax=2 window and flush it; a third
+  // capture, also at t=10, must open a *fresh* window whose own deadline
+  // timer (t=10+Tmax) flushes it — not be swallowed by the cancelled
+  // first-window timer or flushed twice.
+  TrackingSystem system(8, WindowSystemConfig(700.0, 2));
+  const auto a = hash::ObjectKey("same-ts-a");
+  const auto b = hash::ObjectKey("same-ts-b");
+  const auto c = hash::ObjectKey("same-ts-c");
+  system.CaptureAt(1, a, 10.0);
+  system.CaptureAt(1, b, 10.0);  // Fills the window: synchronous flush.
+  system.CaptureAt(1, c, 10.0);  // Re-opens at the same timestamp.
+  system.Run();
+  EXPECT_EQ(system.metrics().Counter("track.window_flush"), 2u);
+  EXPECT_GE(system.simulator().Now(), 710.0);  // Second flush came from its timer.
+  EXPECT_EQ(TraceOk(system, a), 1u);
+  EXPECT_EQ(TraceOk(system, b), 1u);
+  EXPECT_EQ(TraceOk(system, c), 1u);
 }
 
 }  // namespace
