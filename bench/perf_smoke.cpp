@@ -10,6 +10,12 @@
 // Usage:
 //   perf_smoke [--nodes=256] [--objects=512000] [--queries=100]
 //              [--seed=0xBE9C5] [--repeat=1] [--out=BENCH.json]
+//              [--invariants] [--invariant-period=5000]
+//
+// With --invariants the obs::InvariantMonitor audits ring/IOP/triangle
+// health at a fixed sim-time cadence during the run; its overhead and
+// verdict land in BENCH.json under "invariants", and any violation on this
+// clean fixed-seed scenario fails the run (exit 4).
 //
 // With --repeat=N the scenario runs N times and the fastest run is
 // reported (standard practice to shave scheduler noise); the simulation
@@ -60,9 +66,15 @@ std::string ReportJson(const PerfSmokeParams& params, const PerfSmokeReport& rep
       report.queries_ok, report.queries_failed, report.sim_time_ms);
   json += peertrack::util::Format(
       "  \"allocations\": {{\"pool_enabled\": {}, \"pool_served\": {}, "
-      "\"pool_reused\": {}, \"pool_fallback\": {}, \"slab_bytes\": {}}}\n",
+      "\"pool_reused\": {}, \"pool_fallback\": {}, \"slab_bytes\": {}}},\n",
       peertrack::sim::MessagePool::Enabled() ? "true" : "false", pool.served,
       pool.reused, pool.fallback, pool.slab_bytes);
+  json += peertrack::util::Format(
+      "  \"invariants\": {{\"enabled\": {}, \"scans\": {}, "
+      "\"invariant_scan_ms\": {:.3f}, \"violations\": {}, \"open\": {}}}\n",
+      params.invariants ? "true" : "false", report.invariant_scans,
+      report.invariant_scan_ms, report.invariant_violations,
+      report.invariant_open);
   json += "}\n";
   return json;
 }
@@ -76,6 +88,9 @@ int main(int argc, char** argv) {
   params.objects = static_cast<std::size_t>(config.GetUInt("objects", params.objects));
   params.queries = static_cast<std::size_t>(config.GetUInt("queries", params.queries));
   params.seed = config.GetUInt("seed", params.seed);
+  params.invariants = config.GetBool("invariants", params.invariants);
+  params.invariant_period_ms =
+      config.GetDouble("invariant-period", params.invariant_period_ms);
   const int repeats = std::max<int>(1, static_cast<int>(config.GetInt("repeat", 1)));
   const std::string out_path = config.GetString("out", "BENCH.json");
 
@@ -107,5 +122,13 @@ int main(int argc, char** argv) {
     out << json;
     std::fprintf(stderr, "(BENCH written to %s)\n", out_path.c_str());
   }
-  return best.queries_failed == 0 ? 0 : 3;
+  if (best.queries_failed != 0) return 3;
+  if (params.invariants && best.invariant_violations != 0) {
+    std::fprintf(stderr,
+                 "perf_smoke: %zu invariant violation(s) on a clean run "
+                 "(%zu still open) — see the health checks\n",
+                 best.invariant_violations, best.invariant_open);
+    return 4;
+  }
+  return 0;
 }

@@ -4,14 +4,22 @@
 // do not exercise.
 //
 // Phase 1: protocol-level Chord churn (joins, graceful leaves, a crash)
-//          with stabilization repairing the ring.
+//          with stabilization repairing the ring. An InvariantMonitor
+//          audits the ring against the true membership throughout: churn
+//          opens transient violations, stabilization closes them, and the
+//          repair-latency percentiles land in the health report.
 // Phase 2: gossip size estimation approximating Nn (the paper's [14]).
 // Phase 3: growing the tracked network until Scheme-2's Lp increments,
-//          splitting the prefix index, and verifying queries still resolve.
+//          splitting the prefix index, and verifying queries still resolve
+//          — with ring + tracking invariants audited end-to-end.
 //
-//   ./network_churn [--nodes=24] [--growth=40]
+//   ./network_churn [--nodes=24] [--growth=40] [--health=health.json]
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "peertrack.hpp"
 #include "util/config.hpp"
@@ -21,7 +29,10 @@ using namespace peertrack;
 
 namespace {
 
-void RunChordChurnPhase(std::size_t n) {
+/// Named per-phase health reports, combined into one JSON document.
+using HealthLog = std::vector<std::pair<std::string, obs::HealthReport>>;
+
+void RunChordChurnPhase(std::size_t n, HealthLog& health) {
   std::printf("--- phase 1: Chord membership under churn (%zu nodes) ---\n", n);
   sim::Simulator sim;
   sim::ConstantLatency latency(5.0);
@@ -35,6 +46,14 @@ void RunChordChurnPhase(std::size_t n) {
   ring.ProtocolBootstrap(/*settle_ms=*/30'000.0);
   std::printf("bootstrap converged: %s\n", ring.IsConverged() ? "yes" : "NO");
 
+  // Audit the ring against the true membership for the whole churn window.
+  // Every leave/join/crash opens violations (wrong successors, dead finger
+  // targets) that stabilization then repairs; the monitor times each one.
+  obs::Registry registry;
+  obs::InvariantMonitor monitor(sim, registry);
+  obs::InstallRingChecks(monitor, ring);
+  monitor.Start(/*period_ms=*/250.0, /*until_ms=*/sim.Now() + 90'000.0);
+
   ring.Node(n / 3).Leave();
   ring.ProtocolJoin("late-joiner");
   ring.Node(n / 2).Crash();
@@ -43,6 +62,11 @@ void RunChordChurnPhase(std::size_t n) {
               ring.AliveCount(), ring.IsConverged() ? "yes" : "NO",
               static_cast<unsigned long long>(
                   network.metrics().Counter("chord.successor_failover")));
+
+  monitor.RunOnce();  // Final scan on the settled ring.
+  const obs::HealthReport report = monitor.Report();
+  std::fputs(report.SummaryTable().c_str(), stdout);
+  health.emplace_back("chord_churn", report);
 }
 
 double RunGossipPhase(std::size_t n) {
@@ -62,12 +86,22 @@ double RunGossipPhase(std::size_t n) {
   return estimate;
 }
 
-void RunGrowthPhase(std::size_t n, std::size_t growth) {
+void RunGrowthPhase(std::size_t n, std::size_t growth, HealthLog& health) {
   std::printf("\n--- phase 3: network growth, Lp adaptation, index splitting ---\n");
   tracking::SystemConfig config;
   config.tracker.mode = tracking::IndexingMode::kGroup;
   tracking::TrackingSystem system(n, config);
   std::printf("start: %zu orgs, Lp=%u\n", n, system.CurrentLp());
+
+  // Ring + tracking invariants audited across indexing, growth, and the
+  // post-growth queries. The workload below finishes well before the
+  // horizon; growth and queries drain the event queue themselves, so late
+  // scans come from the manual RunOnce below.
+  obs::Registry registry;
+  obs::InvariantMonitor monitor(system.simulator(), registry);
+  obs::InstallRingChecks(monitor, system.ring());
+  obs::InstallTrackingChecks(monitor, system);
+  monitor.Start(/*period_ms=*/1000.0, /*until_ms=*/60'000.0);
 
   // Seed the network with objects.
   workload::MovementParams params;
@@ -99,6 +133,28 @@ void RunGrowthPhase(std::size_t n, std::size_t growth) {
     system.Run();
   }
   std::printf("post-growth locate queries: %zu/%zu resolved\n", ok, probes);
+
+  // Let in-flight repairs settle past the staleness window, then take the
+  // final scan the health verdict is based on.
+  system.RunUntil(system.simulator().Now() +
+                  config.tracker.window.tmax_ms + 3000.0);
+  monitor.RunOnce();
+  const obs::HealthReport report = monitor.Report();
+  std::fputs(report.SummaryTable().c_str(), stdout);
+  health.emplace_back("growth", report);
+}
+
+std::string CombinedHealthJson(const HealthLog& health) {
+  std::string json = "{\n  \"report\": \"network_churn_health\",\n  \"phases\": [";
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    if (i > 0) json += ",";
+    json += util::Format("\n    {{\"name\": \"{}\", \"health\": ",
+                         obs::JsonEscape(health[i].first));
+    json += health[i].second.ToJson();
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+  return json;
 }
 
 }  // namespace
@@ -107,9 +163,31 @@ int main(int argc, char** argv) {
   const auto cli = util::Config::FromArgs(argc, argv);
   const std::size_t nodes = cli.GetUInt("nodes", 24);
   const std::size_t growth = cli.GetUInt("growth", 40);
+  const std::string health_path = cli.GetString("health", "");
 
-  RunChordChurnPhase(nodes);
+  HealthLog health;
+  RunChordChurnPhase(nodes, health);
   RunGossipPhase(nodes);
-  RunGrowthPhase(nodes, growth);
+  RunGrowthPhase(nodes, growth, health);
+
+  if (!health_path.empty()) {
+    std::ofstream out(health_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "network_churn: cannot write %s\n", health_path.c_str());
+      return 1;
+    }
+    out << CombinedHealthJson(health);
+    std::fprintf(stderr, "(health report written to %s)\n", health_path.c_str());
+  }
+
+  // Still-open fatal violations (lost records, cyclic chains) mean the run
+  // ended in a corrupt state; surface that in the exit code for CI.
+  for (const auto& [name, report] : health) {
+    if (report.open_fatal > 0) {
+      std::fprintf(stderr, "network_churn: %zu fatal violation(s) still open after %s\n",
+                   report.open_fatal, name.c_str());
+      return 2;
+    }
+  }
   return 0;
 }

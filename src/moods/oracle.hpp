@@ -46,6 +46,13 @@ class TrajectoryOracle {
 
   std::size_t ObjectCount() const noexcept { return trips_.size(); }
 
+  /// Iterate every (object, sorted trajectory) pair. Order is unspecified.
+  /// Used by sweeps that validate distributed state against ground truth.
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) const {
+    for (const auto& [object, trips] : trips_) fn(object, trips);
+  }
+
  private:
   std::unordered_map<hash::UInt160, std::vector<OracleVisit>, hash::UInt160Hasher>
       trips_;

@@ -2,41 +2,10 @@
 
 #include <fstream>
 
+#include "obs/health.hpp"  // Shared JsonEscape.
 #include "util/format.hpp"
 
 namespace peertrack::obs {
-
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslash, control chars). The
-/// names we emit are ASCII identifiers, but escaping keeps the output
-/// valid regardless of what instrument names benches invent.
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char kHex[] = "0123456789abcdef";
-          const unsigned v = static_cast<unsigned char>(c);
-          out += "\\u00";
-          out += kHex[(v >> 4) & 0xF];
-          out += kHex[v & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string PerfettoExporter::ToJson(const Tracer& tracer) {
   std::string json = "{\"traceEvents\":[";

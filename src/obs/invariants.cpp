@@ -1,0 +1,525 @@
+#include "obs/invariants.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <unordered_map>
+
+#include "chord/chord_ring.hpp"
+#include "tracking/tracking_system.hpp"
+#include "util/format.hpp"
+
+namespace peertrack::obs {
+
+// --- InvariantMonitor -------------------------------------------------------
+
+InvariantMonitor::InvariantMonitor(sim::Simulator& simulator, Registry& registry)
+    : simulator_(simulator),
+      registry_(registry),
+      ctr_scans_(registry.GetCounter("invariant.scans")),
+      ctr_opened_(registry.GetCounter("invariant.violations_opened")),
+      ctr_cleared_(registry.GetCounter("invariant.violations_healed")),
+      open_gauge_(registry.GetGauge("invariant.open")),
+      repair_all_(registry.GetHistogram("invariant.repair_ms")) {}
+
+void InvariantMonitor::AddCheck(std::string id, Severity severity, CheckFn fn) {
+  auto check = std::make_unique<Check>(Check{
+      .id = id,
+      .severity = severity,
+      .fn = std::move(fn),
+      .pass = registry_.GetCounter(util::Format("invariant.pass:{}", id)),
+      .fail = registry_.GetCounter(util::Format("invariant.fail:{}", id)),
+      .open_gauge = registry_.GetGauge(util::Format("invariant.open:{}", id)),
+      .repair = registry_.GetHistogram(util::Format("invariant.repair_ms:{}", id)),
+  });
+  checks_.push_back(std::move(check));
+}
+
+void InvariantMonitor::Start(double period_ms, double until_ms) {
+  period_ms_ = period_ms;
+  until_ms_ = until_ms;
+  Tick();
+}
+
+void InvariantMonitor::Tick() {
+  RunOnce();
+  // Bounded-horizon rescheduling (same rule as TimeSeriesSampler): never
+  // keep a drained event queue alive past the horizon.
+  if (period_ms_ > 0.0 && simulator_.Now() + period_ms_ <= until_ms_) {
+    simulator_.ScheduleAfter(period_ms_, [this] { Tick(); });
+  }
+}
+
+void InvariantMonitor::RunOnce() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double now = simulator_.Now();
+  for (auto& check_ptr : checks_) {
+    Check& check = *check_ptr;
+    CheckContext context(now);
+    check.fn(context);
+    ++check.scans;
+    if (context.findings().empty()) {
+      check.pass.Add();
+    } else {
+      check.fail.Add();
+      ++check.failed_scans;
+      check.findings += context.findings().size();
+    }
+    const HealthLedger::Delta delta =
+        ledger_.Reconcile(check.id, check.severity, context.findings(), now);
+    check.opened += delta.opened;
+    opened_total_ += delta.opened;
+    if (delta.opened > 0) ctr_opened_.Add(delta.opened);
+    if (!delta.repaired_ms.empty()) {
+      check.healed += delta.repaired_ms.size();
+      ctr_cleared_.Add(delta.repaired_ms.size());
+      for (const double repaired : delta.repaired_ms) {
+        check.repair.Add(repaired);
+        repair_all_.Add(repaired);
+      }
+    }
+    check.open_gauge.Set(static_cast<double>(ledger_.OpenCount(check.id)));
+  }
+  open_gauge_.Set(static_cast<double>(ledger_.OpenCount()));
+  ++scans_;
+  ctr_scans_.Add();
+  scan_wall_ms_ += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+}
+
+HealthReport InvariantMonitor::Report() const {
+  // Bound the per-violation log so a pathological churn run cannot emit a
+  // gigabyte of JSON; the aggregate counts always cover everything.
+  constexpr std::size_t kMaxReportViolations = 2000;
+
+  HealthReport report;
+  report.generated_at_ms = simulator_.Now();
+  report.scans = scans_;
+  report.open_violations = ledger_.OpenCount();
+  report.open_fatal = ledger_.OpenFatalCount();
+  for (const auto& check_ptr : checks_) {
+    const Check& check = *check_ptr;
+    HealthReport::CheckSummary summary;
+    summary.id = check.id;
+    summary.severity = check.severity;
+    summary.scans = check.scans;
+    summary.failed_scans = check.failed_scans;
+    summary.findings = check.findings;
+    summary.opened = check.opened;
+    summary.healed = check.healed;
+    summary.open = ledger_.OpenCount(check.id);
+    summary.repair.count = check.repair.Count();
+    summary.repair.p50_ms = check.repair.P50();
+    summary.repair.p95_ms = check.repair.P95();
+    summary.repair.p99_ms = check.repair.P99();
+    summary.repair.max_ms = check.repair.Max();
+    report.checks.push_back(std::move(summary));
+  }
+  report.violations = ledger_.violations();
+  report.violations_total = report.violations.size();
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.first_seen_ms != b.first_seen_ms) {
+                return a.first_seen_ms < b.first_seen_ms;
+              }
+              if (a.check != b.check) return a.check < b.check;
+              return a.subject < b.subject;
+            });
+  if (report.violations.size() > kMaxReportViolations) {
+    report.violations.resize(kMaxReportViolations);
+  }
+  return report;
+}
+
+// --- Ring checks ------------------------------------------------------------
+
+namespace {
+
+/// Alive nodes sorted by ring id — the ground-truth ring, built once per
+/// scan (ChordRing::ExpectedSuccessor re-sorts per call, too slow to use
+/// per finger).
+std::vector<const chord::ChordNode*> SortedAliveNodes(const chord::ChordRing& ring) {
+  std::vector<const chord::ChordNode*> alive;
+  alive.reserve(ring.NodeCount());
+  for (const auto& node : ring.Nodes()) {
+    if (node->Alive()) alive.push_back(node.get());
+  }
+  std::sort(alive.begin(), alive.end(),
+            [](const chord::ChordNode* a, const chord::ChordNode* b) {
+              return a->Self().id < b->Self().id;
+            });
+  return alive;
+}
+
+/// True successor of `key` within the sorted alive ring: first node with
+/// id >= key, wrapping to the front (same rule as ChordRing::ExpectedSuccessor).
+const chord::ChordNode* TrueOwner(const std::vector<const chord::ChordNode*>& sorted,
+                                  const chord::Key& key) {
+  if (sorted.empty()) return nullptr;
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), key,
+                             [](const chord::ChordNode* node, const chord::Key& k) {
+                               return node->Self().id < k;
+                             });
+  if (it == sorted.end()) it = sorted.begin();
+  return *it;
+}
+
+}  // namespace
+
+void InstallRingChecks(InvariantMonitor& monitor, const chord::ChordRing& ring,
+                       RingInvariantOptions options) {
+  const chord::ChordRing* ringp = &ring;
+
+  monitor.AddCheck("ring.successor", Severity::kError, [ringp](CheckContext& ctx) {
+    const auto sorted = SortedAliveNodes(*ringp);
+    const std::size_t n = sorted.size();
+    if (n < 2) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      const chord::ChordNode& node = *sorted[i];
+      const chord::NodeRef& expected = sorted[(i + 1) % n]->Self();
+      const chord::NodeRef actual = node.Successor();
+      if (actual.id != expected.id) {
+        ctx.Report(node.Self().actor, node.Address(),
+                   util::Format("successor is {}, true ring says {}",
+                                actual.Describe(), expected.Describe()));
+      }
+    }
+  });
+
+  monitor.AddCheck("ring.predecessor", Severity::kWarn, [ringp](CheckContext& ctx) {
+    const auto sorted = SortedAliveNodes(*ringp);
+    const std::size_t n = sorted.size();
+    if (n < 2) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      const chord::ChordNode& node = *sorted[i];
+      const chord::NodeRef& expected = sorted[(i + n - 1) % n]->Self();
+      if (!node.Predecessor().has_value()) {
+        ctx.Report(node.Self().actor, node.Address(),
+                   util::Format("predecessor unset, true ring says {}",
+                                expected.Describe()));
+      } else if (node.Predecessor()->id != expected.id) {
+        ctx.Report(node.Self().actor, node.Address(),
+                   util::Format("predecessor is {}, true ring says {}",
+                                node.Predecessor()->Describe(), expected.Describe()));
+      }
+    }
+  });
+
+  if (options.check_successor_list) {
+    monitor.AddCheck("ring.successor_list", Severity::kWarn, [ringp](CheckContext& ctx) {
+      const auto sorted = SortedAliveNodes(*ringp);
+      const std::size_t n = sorted.size();
+      if (n < 2) return;
+      for (std::size_t i = 0; i < n; ++i) {
+        const chord::ChordNode& node = *sorted[i];
+        const auto& entries = node.successors().Entries();
+        for (std::size_t j = 0; j < entries.size(); ++j) {
+          const chord::NodeRef& expected = sorted[(i + 1 + j) % n]->Self();
+          if (entries[j].id != expected.id) {
+            ctx.Report(node.Self().actor, node.Address(),
+                       util::Format("successor_list[{}] is {}, true sequence says {}",
+                                    j, entries[j].Describe(), expected.Describe()));
+            break;  // One finding per node; deeper entries depend on this one.
+          }
+        }
+      }
+    });
+  }
+
+  if (options.check_fingers) {
+    monitor.AddCheck("ring.finger", Severity::kWarn, [ringp](CheckContext& ctx) {
+      const auto sorted = SortedAliveNodes(*ringp);
+      if (sorted.size() < 2) return;
+      for (const chord::ChordNode* node : sorted) {
+        const chord::FingerTable& fingers = node->fingers();
+        for (unsigned i = 0; i < chord::FingerTable::kBits; ++i) {
+          const auto& finger = fingers.Get(i);
+          if (!finger.has_value()) continue;  // Lazily populated; unset is legal.
+          const chord::ChordNode* expected = TrueOwner(sorted, fingers.Start(i));
+          if (finger->id != expected->Self().id) {
+            ctx.Report(node->Self().actor,
+                       util::Format("{}#f{}", node->Address(), i),
+                       util::Format("finger[{}] is {}, successor({}..) is {}", i,
+                                    finger->Describe(), fingers.Start(i).ToShortHex(),
+                                    expected->Self().Describe()));
+          }
+        }
+      }
+    });
+  }
+}
+
+// --- Tracking checks --------------------------------------------------------
+
+namespace {
+
+/// Where one index entry for an object physically lives.
+struct EntrySite {
+  const tracking::TrackerNode* node = nullptr;
+  bool individual = false;     ///< Flat individual-mode map vs prefix bucket.
+  hash::Prefix prefix;         ///< Valid when !individual.
+  tracking::IndexEntry entry;
+};
+
+using SiteMap = std::unordered_map<hash::UInt160, std::vector<EntrySite>,
+                                   hash::UInt160Hasher>;
+
+/// One sweep over every alive tracker's index state (individual map and
+/// every prefix bucket; replicas are backups, not index authority, and are
+/// deliberately excluded).
+SiteMap CollectIndexSites(tracking::TrackingSystem& system) {
+  SiteMap sites;
+  for (std::size_t i = 0; i < system.NodeCount(); ++i) {
+    tracking::TrackerNode& tracker = system.Tracker(i);
+    if (!tracker.chord().Alive()) continue;
+    for (const auto& [object, entry] : tracker.individual_index().Entries()) {
+      sites[object].push_back(EntrySite{&tracker, true, {}, entry});
+    }
+    for (const auto& prefix : tracker.prefix_store().Prefixes()) {
+      const tracking::PrefixBucket* bucket = tracker.prefix_store().TryBucket(prefix);
+      if (bucket == nullptr) continue;
+      for (const auto& [object, entry] : bucket->Entries()) {
+        sites[object].push_back(EntrySite{&tracker, false, prefix, entry});
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace
+
+void InstallTrackingChecks(InvariantMonitor& monitor,
+                           tracking::TrackingSystem& system,
+                           TrackingInvariantOptions options) {
+  tracking::TrackingSystem* sys = &system;
+  // Faults younger than the grace window are in flight, not violations: a
+  // capture sits in its window for up to Tmax, then M1 routes over O(log n)
+  // hops and M2/M3 add one more before both chain ends agree.
+  const double staleness = options.staleness_ms > 0.0
+                               ? options.staleness_ms
+                               : system.config().tracker.window.tmax_ms + 2000.0;
+
+  if (options.check_iop) {
+    monitor.AddCheck("iop.link", Severity::kError, [sys, staleness](CheckContext& ctx) {
+      const double settled_before = ctx.Now() - staleness;
+      for (std::size_t i = 0; i < sys->NodeCount(); ++i) {
+        tracking::TrackerNode& tracker = sys->Tracker(i);
+        if (!tracker.chord().Alive()) continue;
+        const sim::ActorId self = tracker.Self().actor;
+        tracker.iop().ForEachObject([&](const hash::UInt160& object,
+                                        const std::vector<moods::Visit>& visits) {
+          for (const moods::Visit& visit : visits) {
+            const auto subject = [&](const char* end) {
+              return util::Format("{}@{:.3f}:{}", object.ToShortHex(), visit.arrived,
+                                  end);
+            };
+            // Forward: our to-link must have a matching from-link on the
+            // destination's visit record.
+            if (visit.to.has_value() && visit.to->Valid() &&
+                visit.to_arrived.has_value() && *visit.to_arrived <= settled_before) {
+              tracking::TrackerNode* dest = sys->TrackerByActor(visit.to->actor);
+              const moods::Visit* far =
+                  dest == nullptr ? nullptr
+                                  : dest->iop().VisitAt(object, *visit.to_arrived);
+              if (far == nullptr) {
+                ctx.Report(self, subject("to"),
+                           util::Format("to-link points at {} @ {:.3f} but no such "
+                                        "visit exists there",
+                                        visit.to->Describe(), *visit.to_arrived));
+              } else if (!far->from.has_value() || !far->from->Valid() ||
+                         far->from->actor != self ||
+                         far->from_arrived != visit.arrived) {
+                ctx.Report(self, subject("to"),
+                           util::Format("to-link points at {} @ {:.3f} but its "
+                                        "from-link does not point back here",
+                                        visit.to->Describe(), *visit.to_arrived));
+              }
+            }
+            // Reverse: our from-link must have a matching to-link on the
+            // source's visit record.
+            if (visit.from.has_value() && visit.from->Valid() &&
+                visit.from_arrived.has_value() && visit.arrived <= settled_before) {
+              tracking::TrackerNode* src = sys->TrackerByActor(visit.from->actor);
+              const moods::Visit* far =
+                  src == nullptr ? nullptr
+                                 : src->iop().VisitAt(object, *visit.from_arrived);
+              if (far == nullptr || !far->to.has_value() || !far->to->Valid() ||
+                  far->to->actor != self || far->to_arrived != visit.arrived) {
+                ctx.Report(self, subject("from"),
+                           util::Format("from-link points at {} @ {:.3f} but its "
+                                        "to-link does not point back here",
+                                        visit.from->Describe(), *visit.from_arrived));
+              }
+            }
+            // An M3 is issued for every indexed arrival; a settled visit
+            // that never learned its provenance marks a lost/missing M3.
+            if (!visit.from.has_value() && visit.arrived <= settled_before) {
+              ctx.Report(self, subject("m3"),
+                         "visit never received its M3 (from-link unset)");
+            }
+          }
+        });
+      }
+    });
+
+    monitor.AddCheck("iop.acyclic", Severity::kFatal, [sys](CheckContext& ctx) {
+      // A cycle in a time-sorted chain must contain a link that does not
+      // advance time, so strict per-link monotonicity implies acyclicity —
+      // O(visits) instead of a global chain walk.
+      for (std::size_t i = 0; i < sys->NodeCount(); ++i) {
+        tracking::TrackerNode& tracker = sys->Tracker(i);
+        if (!tracker.chord().Alive()) continue;
+        const sim::ActorId self = tracker.Self().actor;
+        tracker.iop().ForEachObject([&](const hash::UInt160& object,
+                                        const std::vector<moods::Visit>& visits) {
+          for (const moods::Visit& visit : visits) {
+            if (visit.to.has_value() && visit.to->Valid() &&
+                visit.to_arrived.has_value() && *visit.to_arrived <= visit.arrived) {
+              ctx.Report(self,
+                         util::Format("{}@{:.3f}:to", object.ToShortHex(),
+                                      visit.arrived),
+                         util::Format("to-link goes backward in time ({:.3f} -> "
+                                      "{:.3f}): chain is cyclic",
+                                      visit.arrived, *visit.to_arrived));
+            }
+            if (visit.from.has_value() && visit.from->Valid() &&
+                visit.from_arrived.has_value() &&
+                *visit.from_arrived >= visit.arrived) {
+              ctx.Report(self,
+                         util::Format("{}@{:.3f}:from", object.ToShortHex(),
+                                      visit.arrived),
+                         util::Format("from-link goes forward in time ({:.3f} <- "
+                                      "{:.3f}): chain is cyclic",
+                                      visit.arrived, *visit.from_arrived));
+            }
+          }
+        });
+      }
+    });
+  }
+
+  if (options.check_gateway) {
+    monitor.AddCheck("gateway.staleness", Severity::kError,
+                     [sys, staleness](CheckContext& ctx) {
+      const double settled_before = ctx.Now() - staleness;
+      const SiteMap sites = CollectIndexSites(*sys);
+      sys->oracle().ForEachObject([&](const hash::UInt160& object,
+                                      const std::vector<moods::OracleVisit>& trips) {
+        if (trips.empty()) return;
+        const moods::OracleVisit& truth = trips.back();
+        if (truth.arrived > settled_before) return;  // Still in flight.
+        const auto it = sites.find(object);
+        if (it == sites.end()) return;  // Loss is triangle.coverage's finding.
+        const EntrySite* best = nullptr;
+        for (const EntrySite& site : it->second) {
+          if (best == nullptr ||
+              site.entry.latest_arrived > best->entry.latest_arrived) {
+            best = &site;
+          }
+        }
+        const moods::NodeIndex indexed =
+            sys->NodeIndexOfActor(best->entry.latest_node.actor);
+        if (indexed != truth.node || best->entry.latest_arrived != truth.arrived) {
+          ctx.Report(best->node->Self().actor, object.ToShortHex(),
+                     util::Format("index says node {} @ {:.3f}, oracle latest is "
+                                  "node {} @ {:.3f}",
+                                  indexed, best->entry.latest_arrived, truth.node,
+                                  truth.arrived));
+        }
+      });
+    });
+  }
+
+  if (options.check_triangle) {
+    monitor.AddCheck("triangle.coverage", Severity::kFatal,
+                     [sys, staleness](CheckContext& ctx) {
+      const double settled_before = ctx.Now() - staleness;
+      const SiteMap sites = CollectIndexSites(*sys);
+      sys->oracle().ForEachObject([&](const hash::UInt160& object,
+                                      const std::vector<moods::OracleVisit>& trips) {
+        if (trips.empty()) return;
+        if (trips.back().arrived > settled_before) return;
+        const auto it = sites.find(object);
+        if (it == sites.end() || it->second.empty()) {
+          const tracking::TrackerNode* gateway = sys->OwnerOf(object);
+          ctx.Report(gateway != nullptr ? gateway->Self().actor : sim::kInvalidActor,
+                     object.ToShortHex(), "no index entry anywhere: record lost");
+          return;
+        }
+        const std::vector<EntrySite>& found = it->second;
+        if (found.size() == 1) return;
+        // Query-time caching copies a child/parent entry onto the object's
+        // own prefix chain at another level (data_triangle.cpp); that is
+        // the only sanctioned form of duplication.
+        bool sanctioned = true;
+        std::set<unsigned> levels;
+        for (const EntrySite& site : found) {
+          if (site.individual || !site.prefix.Matches(object) ||
+              !levels.insert(site.prefix.length).second) {
+            sanctioned = false;
+            break;
+          }
+        }
+        if (!sanctioned) {
+          ctx.Report(found.front().node->Self().actor, object.ToShortHex(),
+                     util::Format("{} index entries off the object's own prefix "
+                                  "chain: record duplicated",
+                                  found.size()));
+        }
+      });
+    });
+  }
+
+  if (options.check_prefix_shape) {
+    monitor.AddCheck("prefix.shape", Severity::kError, [sys](CheckContext& ctx) {
+      const auto sorted = SortedAliveNodes(sys->ring());
+      if (sorted.empty()) return;
+      const unsigned lp = sys->CurrentLp();
+      const bool group =
+          sys->config().tracker.mode == tracking::IndexingMode::kGroup;
+      for (std::size_t i = 0; i < sys->NodeCount(); ++i) {
+        tracking::TrackerNode& tracker = sys->Tracker(i);
+        if (!tracker.chord().Alive()) continue;
+        if (group) {
+          for (const auto& prefix : tracker.prefix_store().Prefixes()) {
+            const tracking::PrefixBucket* bucket =
+                tracker.prefix_store().TryBucket(prefix);
+            if (bucket == nullptr || bucket->Empty()) continue;
+            const auto subject =
+                util::Format("{}:{}", tracker.chord().Address(), prefix.ToString());
+            if (prefix.length != lp && prefix.length != lp + 1) {
+              ctx.Report(tracker.Self().actor, subject,
+                         util::Format("bucket at level {} with Lp={} (only Lp and "
+                                      "the delegated Lp+1 are legal)",
+                                      prefix.length, lp));
+              continue;
+            }
+            const chord::ChordNode* owner = TrueOwner(sorted, hash::GroupKey(prefix));
+            if (owner->Self().actor != tracker.Self().actor) {
+              ctx.Report(tracker.Self().actor, subject,
+                         util::Format("bucket hosted off its gateway (owner of "
+                                      "hash('{}') is {})",
+                                      prefix.ToString(), owner->Self().Describe()));
+            }
+          }
+        } else {
+          std::size_t misplaced = 0;
+          for (const auto& [object, entry] : tracker.individual_index().Entries()) {
+            const chord::ChordNode* owner = TrueOwner(sorted, object);
+            if (owner->Self().actor != tracker.Self().actor) ++misplaced;
+          }
+          if (misplaced > 0) {
+            ctx.Report(tracker.Self().actor,
+                       util::Format("{}:individual", tracker.chord().Address()),
+                       util::Format("{} individual entries for keys this node does "
+                                    "not own",
+                                    misplaced));
+          }
+        }
+      }
+    });
+  }
+}
+
+}  // namespace peertrack::obs

@@ -1,0 +1,182 @@
+#pragma once
+// Online invariant monitor: continuous structural health auditing.
+//
+// The paper's correctness rests on three distributed structures staying
+// mutually consistent — the Chord ring, the IOP doubly-linked list, and the
+// Data Triangle's delegation — yet under churn and loss they drift and
+// (usually) re-converge without anything observing either event. The
+// InvariantMonitor is the distributed-systems analogue of a NaN/divergence
+// watchdog: it registers named checks, runs them periodically on the
+// simulated clock, and turns the findings into open/close Violation
+// records via a HealthLedger, so transient inconsistency becomes a
+// measurable time-to-repair distribution instead of silent luck.
+//
+// Checks are omniscient-but-read-only: they scan live node state directly
+// (the simulator's equivalent of a debug sidecar with a consistent
+// snapshot) and never mutate it, so an enabled monitor cannot change
+// protocol behaviour — only event counts (its own ticks) and wall time.
+//
+// Pass/fail counters, open-violation gauges, and repair-latency histograms
+// feed the obs::Registry, so the existing TimeSeriesSampler captures
+// structural health as a time series next to traffic metrics.
+//
+// Like export.hpp, this header sits *above* sim/chord/tracking; health.hpp
+// and registry.hpp stay below sim. See DESIGN.md §8 for the check
+// catalogue.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace peertrack::chord {
+class ChordRing;
+}
+namespace peertrack::tracking {
+class TrackingSystem;
+}
+
+namespace peertrack::obs {
+
+/// Collector handed to a check for one scan.
+class CheckContext {
+ public:
+  explicit CheckContext(double now) : now_(now) {}
+
+  /// Report one finding. `subject` must identify the fault stably across
+  /// scans (the ledger matches on it); `detail` is free-form.
+  void Report(std::uint32_t actor, std::string subject, std::string detail) {
+    findings_.push_back(Finding{actor, std::move(subject), std::move(detail)});
+  }
+
+  double Now() const noexcept { return now_; }
+  const std::vector<Finding>& findings() const noexcept { return findings_; }
+
+ private:
+  double now_;
+  std::vector<Finding> findings_;
+};
+
+class InvariantMonitor {
+ public:
+  using CheckFn = std::function<void(CheckContext&)>;
+
+  /// Instruments are created in `registry` (typically
+  /// network.metrics().registry() so samplers see them). The monitor must
+  /// not outlive the simulator, the registry, or any structure its checks
+  /// scan.
+  InvariantMonitor(sim::Simulator& simulator, Registry& registry);
+
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Register a named check. Per-check instruments:
+  ///   counter invariant.pass:<id> / invariant.fail:<id>  (scan granularity)
+  ///   gauge   invariant.open:<id>                        (open violations)
+  ///   histogram invariant.repair_ms:<id>                 (heal latencies)
+  void AddCheck(std::string id, Severity severity, CheckFn fn);
+
+  /// Scan now, then every `period_ms` while the next tick is <= `until_ms`
+  /// — the same bounded-horizon scheduling as TimeSeriesSampler, so a
+  /// drained simulator still terminates. May be called mid-run; the first
+  /// scan happens at the current simulated time.
+  void Start(double period_ms, double until_ms);
+
+  /// Run every check once at the current simulated time.
+  void RunOnce();
+
+  /// Snapshot: per-check aggregates plus the violation log. Violations
+  /// still open are reported with open=true and no cleared_ms.
+  HealthReport Report() const;
+
+  const HealthLedger& ledger() const noexcept { return ledger_; }
+  std::uint64_t ScansRun() const noexcept { return scans_; }
+  std::size_t OpenViolations() const noexcept { return ledger_.OpenCount(); }
+  std::size_t ViolationsOpened() const noexcept { return opened_total_; }
+  /// Cumulative host wall-clock spent inside RunOnce — the monitor's
+  /// overhead (informational; never fed back into the simulation).
+  double ScanWallMs() const noexcept { return scan_wall_ms_; }
+
+ private:
+  struct Check {
+    std::string id;
+    Severity severity;
+    CheckFn fn;
+    std::uint64_t scans = 0;
+    std::uint64_t failed_scans = 0;
+    std::uint64_t findings = 0;
+    std::uint64_t opened = 0;
+    std::uint64_t healed = 0;
+    Counter& pass;
+    Counter& fail;
+    Gauge& open_gauge;
+    Histogram& repair;
+  };
+
+  void Tick();
+
+  sim::Simulator& simulator_;
+  Registry& registry_;
+  std::vector<std::unique_ptr<Check>> checks_;
+  HealthLedger ledger_;
+  double period_ms_ = 0.0;
+  double until_ms_ = 0.0;
+  std::uint64_t scans_ = 0;
+  std::uint64_t opened_total_ = 0;
+  double scan_wall_ms_ = 0.0;
+  Counter& ctr_scans_;
+  Counter& ctr_opened_;
+  Counter& ctr_cleared_;
+  Gauge& open_gauge_;
+  Histogram& repair_all_;
+};
+
+// --- Concrete check installers ---------------------------------------------
+
+/// Ring-structure checks against the oracle ring (the sorted alive id set):
+///   ring.successor       successor pointer agrees with the true ring (error)
+///   ring.predecessor     predecessor set, alive, and correct        (warn)
+///   ring.successor_list  list is a prefix of the true successor seq (warn)
+///   ring.finger          populated fingers point at successor(start)(warn)
+/// `ring` must outlive the monitor.
+struct RingInvariantOptions {
+  bool check_fingers = true;
+  bool check_successor_list = true;
+};
+void InstallRingChecks(InvariantMonitor& monitor, const chord::ChordRing& ring,
+                       RingInvariantOptions options = {});
+
+/// Tracking-layer checks against the ground-truth oracle:
+///   iop.link           every to-link has the matching from-link (and vice
+///                      versa) on the counterpart node              (error)
+///   iop.acyclic        links move strictly forward in time — a cycle
+///                      must contain a non-increasing link          (fatal)
+///   gateway.staleness  the index entry for each settled object points at
+///                      its true latest location                    (error)
+///   triangle.coverage  each settled object has exactly one authoritative
+///                      index entry (query caching along the object's own
+///                      parent/child prefix chain is allowed)       (fatal)
+///   prefix.shape       buckets live at level Lp or Lp+1 on the gateway
+///                      that owns their prefix key; individual entries
+///                      live on the owner of the object key         (error)
+/// `system` must outlive the monitor.
+struct TrackingInvariantOptions {
+  /// Updates younger than this are considered in flight and not judged
+  /// (capture windows hold reports for up to Tmax, then M1 routing and
+  /// M2/M3 delivery add network latency). 0 = derive from the tracker
+  /// config: window Tmax + 2000 ms.
+  double staleness_ms = 0.0;
+  bool check_iop = true;
+  bool check_gateway = true;
+  bool check_triangle = true;
+  bool check_prefix_shape = true;
+};
+void InstallTrackingChecks(InvariantMonitor& monitor,
+                           tracking::TrackingSystem& system,
+                           TrackingInvariantOptions options = {});
+
+}  // namespace peertrack::obs

@@ -14,6 +14,8 @@
 //                               receptors, and the ground-truth oracle.
 //   central::CentralTracker   — the centralized-warehouse baseline.
 //   estimate::*               — gossip network-size estimation (drives Lp).
+//   obs::InvariantMonitor     — continuous ring/IOP/triangle health auditing
+//                               with repair-latency metrics.
 //   workload::*               — EPC ids, arrival processes, movement plans.
 
 #include "central/central_tracker.hpp"
@@ -23,6 +25,7 @@
 #include "moods/oracle.hpp"
 #include "moods/receptor.hpp"
 #include "moods/snapshot.hpp"
+#include "obs/invariants.hpp"
 #include "tracking/audit.hpp"
 #include "tracking/prediction.hpp"
 #include "tracking/tracking_system.hpp"

@@ -12,6 +12,15 @@ std::string TraceAuditor::Anomaly::Describe() const {
           site.Describe(), gap_ms);
     case AnomalyKind::kExcessiveDwell:
       return util::Format("excessive dwell at {} ({} ms)", site.Describe(), gap_ms);
+    case AnomalyKind::kMissingLink:
+      return util::Format(
+          "broken chain after {}: the IOP walk hit a dead link — records "
+          "missing or diverted",
+          site.Describe());
+    case AnomalyKind::kSilenceGap:
+      return util::Format(
+          "reappeared at {} after {} ms of silence — diversion suspected",
+          site.Describe(), gap_ms);
   }
   return "unknown anomaly";
 }
@@ -30,6 +39,25 @@ std::vector<TraceAuditor::Anomaly> TraceAuditor::Audit(
       anomalies.push_back(
           Anomaly{AnomalyKind::kExcessiveDwell, i - 1, path[i - 1].node, gap});
     }
+    if (different_site && limits_.max_silence_ms > 0.0 &&
+        gap > limits_.max_silence_ms) {
+      // Off the books for `gap` ms, then surfaced somewhere else.
+      anomalies.push_back(Anomaly{AnomalyKind::kSilenceGap, i, path[i].node, gap});
+    }
+  }
+  return anomalies;
+}
+
+std::vector<TraceAuditor::Anomaly> TraceAuditor::Audit(
+    const TrackerNode::TraceResult& result) const {
+  std::vector<Anomaly> anomalies = Audit(result.path);
+  if (result.chain_broken) {
+    Anomaly anomaly{AnomalyKind::kMissingLink, 0, chord::NodeRef{}, 0.0};
+    if (!result.path.empty()) {
+      anomaly.step_index = result.path.size() - 1;
+      anomaly.site = result.path.back().node;
+    }
+    anomalies.push_back(anomaly);
   }
   return anomalies;
 }

@@ -27,11 +27,17 @@ class TraceAuditor {
     /// Dwell beyond which a visit is suspicious (goods parked off-books).
     /// 0 disables the check.
     moods::Time max_dwell_ms = 0.0;
+    /// Silence beyond which a reappearance at a *different* site is
+    /// suspicious (goods off the books between two sightings — diversion /
+    /// pilferage suspected). 0 disables the check.
+    moods::Time max_silence_ms = 0.0;
   };
 
   enum class AnomalyKind {
     kImpossibleTransit,  ///< Too fast between different sites: clone suspected.
     kExcessiveDwell,     ///< Sat at one site longer than policy allows.
+    kMissingLink,        ///< The IOP chain is broken: the walk hit a dead link.
+    kSilenceGap,         ///< Reappeared elsewhere after implausible silence.
   };
 
   struct Anomaly {
@@ -47,6 +53,10 @@ class TraceAuditor {
 
   /// Audit one trace result. Returns all anomalies (empty = clean).
   std::vector<Anomaly> Audit(const std::vector<TrackerNode::TraceStep>& path) const;
+
+  /// Audit a full query result: the path checks above, plus kMissingLink
+  /// when the walk reported a broken chain (dead link / timed-out step).
+  std::vector<Anomaly> Audit(const TrackerNode::TraceResult& result) const;
 
   /// Convenience verdict.
   bool LooksCloned(const std::vector<TrackerNode::TraceStep>& path) const;

@@ -348,6 +348,7 @@ void TrackerNode::HandleWalkResponse(std::uint64_t query_id,
 
   if (!response.found) {
     // Dead link: complete with what was collected so far.
+    query.chain_broken = true;
     if (query.walking_backward && query.forward_pending) {
       query.walking_backward = false;
       WalkStep(query_id);
@@ -407,6 +408,7 @@ void TrackerNode::HandleWalkTimeout(std::uint64_t query_id) {
                                     "timeout");
   query.stage = obs::TraceContext{};
   ctr_walk_timeout_.Add();
+  query.chain_broken = true;
   if (query.walking_backward && query.forward_pending) {
     query.walking_backward = false;
     WalkStep(query_id);
@@ -445,6 +447,7 @@ void TrackerNode::FinishQuery(std::uint64_t query_id, bool ok) {
   }
   TraceResult result;
   result.ok = ok && !query.steps.empty();
+  result.chain_broken = query.chain_broken;
   result.path.reserve(query.steps.size());
   for (const auto& [arrived, node] : query.steps) {
     result.path.push_back(TraceStep{node, arrived});

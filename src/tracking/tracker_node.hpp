@@ -131,6 +131,11 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   struct TraceResult {
     bool ok = false;            ///< Object found and walk completed.
     std::vector<TraceStep> path;///< Visits sorted by arrival time.
+    /// The IOP walk hit a dead link (a visit pointing at a node that could
+    /// not produce the referenced record) and degraded to a partial path.
+    /// `ok` stays true when some steps were collected; auditors treat this
+    /// as a broken chain (TraceAuditor::AnomalyKind::kMissingLink).
+    bool chain_broken = false;
     moods::Time issued_at = 0.0;
     moods::Time completed_at = 0.0;
     std::size_t probe_hops = 0; ///< Routing probes before an answerer was found.
@@ -205,7 +210,18 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
     return store_.TotalEntries() + individual_.Size();
   }
   const PrefixIndexStore& prefix_store() const noexcept { return store_; }
+  /// Individual-mode gateway map (read-only; invariant monitor scans).
+  const PrefixBucket& individual_index() const noexcept { return individual_; }
   std::uint64_t WindowsFlushed() const noexcept { return window_.WindowsClosed(); }
+
+  // --- Fault injection (tests only) ---------------------------------------
+  // Mutable views of the stores the invariant monitor audits, so seeded-
+  // corruption tests can break a to-link, stale a gateway entry, or drop a
+  // delegated record and assert the matching check fires. Protocol code
+  // must never touch these.
+  moods::IopStore& mutable_iop() noexcept { return iop_; }
+  PrefixBucket& mutable_individual_index() noexcept { return individual_; }
+  PrefixIndexStore& mutable_prefix_store() noexcept { return store_; }
 
  private:
   friend class TrackingSystem;
@@ -269,6 +285,7 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
     bool forward_pending = false;
     chord::NodeRef forward_node;
     moods::Time forward_arrived = 0.0;
+    bool chain_broken = false;  ///< A walk step hit a dead link / timeout.
     rpc::CallId call = 0;  ///< In-flight probe/walk RPC.
     sim::EventHandle timeout;
     obs::TraceContext span;   ///< Root "query.trace"/"query.locate" span.

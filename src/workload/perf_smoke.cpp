@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 
+#include "obs/invariants.hpp"
 #include "tracking/tracking_system.hpp"
 #include "workload/scenario.hpp"
 
@@ -40,6 +41,23 @@ PerfSmokeReport RunPerfSmoke(const PerfSmokeParams& params) {
   movement.trace_length = 10;
   movement.move_in_groups = true;
   movement.step_ms = 4000.0;
+
+  // Health auditing rides along when asked: scan on a fixed sim-time
+  // cadence over the indexing phase, plus one final settled scan below.
+  // The monitor only schedules deterministic sim events, so same-params
+  // repeats stay bit-identical.
+  std::unique_ptr<obs::InvariantMonitor> monitor;
+  if (params.invariants) {
+    monitor = std::make_unique<obs::InvariantMonitor>(
+        system->simulator(), system->metrics().registry());
+    obs::InstallRingChecks(*monitor, system->ring());
+    obs::InstallTrackingChecks(*monitor, *system);
+    const double horizon = movement.start_time +
+                           movement.step_ms *
+                               static_cast<double>(movement.trace_length + 1);
+    monitor->Start(params.invariant_period_ms, horizon);
+  }
+
   const ScenarioResult scenario =
       ExecuteScenario(*system, movement, params.seed ^ 0xE9C5EEDULL);
   report.captures = scenario.captures;
@@ -60,6 +78,14 @@ PerfSmokeReport RunPerfSmoke(const PerfSmokeParams& params) {
     ++(ok ? report.queries_ok : report.queries_failed);
   }
   report.wall_query_ms = ElapsedMs(mark);
+
+  if (monitor != nullptr) {
+    monitor->RunOnce();  // Final scan with every message drained.
+    report.invariant_scans = monitor->ScansRun();
+    report.invariant_violations = monitor->ViolationsOpened();
+    report.invariant_open = monitor->OpenViolations();
+    report.invariant_scan_ms = monitor->ScanWallMs();
+  }
 
   report.events = system->simulator().ProcessedEvents();
   report.messages = system->metrics().TotalMessages();

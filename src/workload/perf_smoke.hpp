@@ -25,6 +25,13 @@ struct PerfSmokeParams {
                                 ///< needle well past run-to-run noise.
   std::size_t queries = 100;  ///< Trace queries after the indexing phase.
   std::uint64_t seed = 0xBE9C5ULL;
+
+  /// Run the obs::InvariantMonitor alongside the workload and record its
+  /// overhead. The monitor schedules sim events, so two runs with the same
+  /// params (including this flag) stay bit-identical, but an --invariants
+  /// run is not comparable event-for-event with a bare one.
+  bool invariants = false;
+  double invariant_period_ms = 5000.0;  ///< Scan cadence (sim time).
 };
 
 struct PerfSmokeReport {
@@ -45,6 +52,13 @@ struct PerfSmokeReport {
   double WallTotalMs() const noexcept {
     return wall_build_ms + wall_index_ms + wall_query_ms;
   }
+
+  // Invariant-monitor results (all zero unless params.invariants).
+  std::uint64_t invariant_scans = 0;      ///< Health scans run.
+  std::size_t invariant_violations = 0;   ///< Violations opened over the run.
+  std::size_t invariant_open = 0;         ///< Still open at the end.
+  double invariant_scan_ms = 0.0;         ///< Wall-clock spent scanning
+                                          ///< (informational, like wall_*).
 
   /// Full Metrics::CsvRows() dump at the end of the run; the determinism
   /// test compares this row-for-row between same-seed runs.

@@ -70,6 +70,105 @@ TEST(TraceAuditor, DwellCheckDisabledByDefault) {
   EXPECT_TRUE(auditor.Audit(path).empty());
 }
 
+TEST(TraceAuditor, DetectsSilenceGap) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 1000.0;
+  limits.max_silence_ms = 3'600'000.0;  // An hour off the books is suspicious.
+  TraceAuditor auditor(limits);
+  const std::vector<TrackerNode::TraceStep> path = {
+      Step(1, 0.0), Step(2, 7'200'000.0)};  // Reappears elsewhere 2 h later.
+  const auto anomalies = auditor.Audit(path);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, TraceAuditor::AnomalyKind::kSilenceGap);
+  EXPECT_EQ(anomalies[0].step_index, 1u);
+  EXPECT_DOUBLE_EQ(anomalies[0].gap_ms, 7'200'000.0);
+  EXPECT_FALSE(anomalies[0].Describe().empty());
+}
+
+TEST(TraceAuditor, SilenceAtSameSiteIsDwellNotGap) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 1000.0;
+  limits.max_silence_ms = 3'600'000.0;
+  TraceAuditor auditor(limits);
+  // A long pause between two reads at the SAME site is a dwell question,
+  // not a silence gap (the object never left the books).
+  const std::vector<TrackerNode::TraceStep> path = {
+      Step(3, 0.0), Step(3, 7'200'000.0)};
+  EXPECT_TRUE(auditor.Audit(path).empty());
+}
+
+TEST(TraceAuditor, SilenceCheckDisabledByDefault) {
+  TraceAuditor::Limits limits;
+  limits.min_transit_ms = 1000.0;  // max_silence_ms stays 0.
+  TraceAuditor auditor(limits);
+  const std::vector<TrackerNode::TraceStep> path = {Step(1, 0.0), Step(2, 1e9)};
+  EXPECT_TRUE(auditor.Audit(path).empty());
+}
+
+TEST(TraceAuditor, FlagsBrokenChainFromTraceResult) {
+  TraceAuditor auditor;
+  TrackerNode::TraceResult result;
+  result.ok = true;  // Partial path still "succeeds"...
+  result.chain_broken = true;  // ...but the walk hit a dead link.
+  result.path = {Step(1, 0.0), Step(2, 1'200'000.0)};
+  const auto anomalies = auditor.Audit(result);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, TraceAuditor::AnomalyKind::kMissingLink);
+  EXPECT_EQ(anomalies[0].step_index, 1u);
+  EXPECT_EQ(anomalies[0].site.actor, 2u);
+  EXPECT_FALSE(anomalies[0].Describe().empty());
+}
+
+TEST(TraceAuditor, CleanResultHasNoMissingLink) {
+  TraceAuditor auditor;
+  TrackerNode::TraceResult result;
+  result.ok = true;
+  result.path = {Step(1, 0.0), Step(2, 1'200'000.0)};
+  EXPECT_TRUE(auditor.Audit(result).empty());
+}
+
+TEST(TraceAuditor, EndToEndMissingLinkDetection) {
+  // Corrupt a to-link so the IOP walk dereferences a visit that does not
+  // exist; the walk degrades to a partial path with chain_broken set and
+  // the auditor flags kMissingLink.
+  tracking::SystemConfig config;
+  config.tracker.mode = IndexingMode::kIndividual;
+  TrackingSystem system(16, config);
+  const auto object = hash::ObjectKey("epc:diverted");
+  system.CaptureAt(2, object, 10.0);
+  system.CaptureAt(5, object, 10.0 + 1'200'000.0);
+  system.CaptureAt(9, object, 10.0 + 2'400'000.0);
+  system.Run();
+  system.FlushAllWindows();
+
+  // Splice a ghost hop into the middle of the chain: node 5's to-link and
+  // node 9's from-link both reference a visit at node 12, which has no
+  // record of the object — the "records missing or diverted" scenario.
+  // Whichever node intercepts the probe, the walk dereferences the ghost.
+  const chord::NodeRef ghost = system.Tracker(12).Self();
+  const moods::Time ghost_arrived = 10.0 + 1'800'000.0;
+  system.Tracker(5).mutable_iop().SetTo(object, ghost, ghost_arrived);
+  system.Tracker(9).mutable_iop().SetFrom(object, 10.0 + 2'400'000.0, ghost,
+                                          ghost_arrived);
+
+  TraceAuditor auditor;
+  bool done = false;
+  system.TraceQuery(0, object, [&](TrackerNode::TraceResult result) {
+    EXPECT_TRUE(result.chain_broken);
+    const auto anomalies = auditor.Audit(result);
+    bool missing_link = false;
+    for (const auto& anomaly : anomalies) {
+      if (anomaly.kind == TraceAuditor::AnomalyKind::kMissingLink) {
+        missing_link = true;
+      }
+    }
+    EXPECT_TRUE(missing_link);
+    done = true;
+  });
+  system.Run();
+  EXPECT_TRUE(done);
+}
+
 TEST(TraceAuditor, EndToEndCloneInjection) {
   // Full-stack version of examples/counterfeit_detection: a clone's capture
   // inside the genuine item's transit window is flagged from a distributed
