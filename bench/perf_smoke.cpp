@@ -10,7 +10,11 @@
 // Usage:
 //   perf_smoke [--nodes=256] [--objects=512000] [--queries=100]
 //              [--seed=0xBE9C5] [--repeat=1] [--out=BENCH.json]
-//              [--invariants] [--invariant-period=5000]
+//              [--invariants] [--invariant-period=5000] [--replicate=1]
+//
+// Gateway-index replication (R=2 successors) is ON by default so the
+// recorded throughput includes the churn-recovery write path;
+// --replicate=0 measures the bare unreplicated index.
 //
 // With --invariants the obs::InvariantMonitor audits ring/IOP/triangle
 // health at a fixed sim-time cadence during the run; its overhead and
@@ -48,8 +52,9 @@ std::string ReportJson(const PerfSmokeParams& params, const PerfSmokeReport& rep
   json += peertrack::util::Format(
       "  \"bench\": \"perf_smoke\",\n"
       "  \"config\": {{\"nodes\": {}, \"objects\": {}, \"queries\": {}, "
-      "\"seed\": {}, \"repeats\": {}}},\n",
-      params.nodes, params.objects, params.queries, params.seed, repeats);
+      "\"seed\": {}, \"repeats\": {}, \"replicate\": {}}},\n",
+      params.nodes, params.objects, params.queries, params.seed, repeats,
+      params.replicate ? "true" : "false");
   json += peertrack::util::Format(
       "  \"wall_ms\": {{\"build\": {:.3f}, \"index\": {:.3f}, \"query\": {:.3f}, "
       "\"total\": {:.3f}}},\n",
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
   params.queries = static_cast<std::size_t>(config.GetUInt("queries", params.queries));
   params.seed = config.GetUInt("seed", params.seed);
   params.invariants = config.GetBool("invariants", params.invariants);
+  params.replicate = config.GetBool("replicate", params.replicate);
   params.invariant_period_ms =
       config.GetDouble("invariant-period", params.invariant_period_ms);
   const int repeats = std::max<int>(1, static_cast<int>(config.GetInt("repeat", 1)));

@@ -19,7 +19,9 @@ ChordNode::ChordNode(sim::Network& network, std::string address, Options options
       ctr_predecessor_evicted_(
           network.metrics().registry().GetCounter("chord.predecessor_evicted")),
       ctr_lookup_hop_timeout_(
-          network.metrics().registry().GetCounter("chord.lookup_hop_timeout")) {
+          network.metrics().registry().GetCounter("chord.lookup_hop_timeout")),
+      ctr_death_cert_scrub_(
+          network.metrics().registry().GetCounter("chord.death_cert_scrub")) {
   self_.actor = network_.Register(*this);
   rpc_.Bind(self_.actor);
   server_.Bind(self_.actor);
@@ -39,6 +41,9 @@ void ChordNode::RegisterHandlers() {
           response->predecessor = *predecessor_;
         }
         response->successors = successors_.Entries();
+        if (options_.death_cert_ttl_ms > 0.0) {
+          response->dead = FreshDeathCertificates();
+        }
         return response;
       });
   server_.Handle<PingRequest>(
@@ -253,14 +258,52 @@ void ChordNode::AdoptPredecessor(const NodeRef& candidate) {
       const Key lo = old ? old->id : self_.id;
       app_->OnRangeTransfer(lo, candidate.id, candidate);
     }
+    NotifyNeighborhoodChanged();
   }
 }
 
 void ChordNode::EvictPeer(const NodeRef& peer) {
-  confirmed_dead_.insert(peer.actor);
-  successors_.Remove(peer);
+  const bool fresh = confirmed_dead_.insert(peer.actor).second;
+  if (fresh && options_.death_cert_ttl_ms > 0.0) {
+    death_certs_.push_back(
+        DeathCertificate{peer, network_.simulator().Now()});
+  }
+  const bool removed = successors_.Remove(peer);
   fingers_.Evict(peer);
-  if (predecessor_ && predecessor_->actor == peer.actor) predecessor_.reset();
+  const bool was_predecessor =
+      predecessor_ && predecessor_->actor == peer.actor;
+  if (was_predecessor) predecessor_.reset();
+  if (fresh || removed || was_predecessor) NotifyNeighborhoodChanged();
+}
+
+void ChordNode::AdoptDeathCertificate(const DeathCertificate& cert) {
+  if (cert.node.actor == self_.actor) return;  // Rumours of our own death.
+  if (IsConfirmedDead(cert.node)) return;      // Already merged.
+  const double now = network_.simulator().Now();
+  if (now - cert.issued_ms > options_.death_cert_ttl_ms) return;  // Expired.
+  ctr_death_cert_scrub_.Add();
+  confirmed_dead_.insert(cert.node.actor);
+  // Keep the original timestamp so the certificate dies ring-wide at
+  // issued + TTL instead of being refreshed forever hop by hop.
+  death_certs_.push_back(cert);
+  const bool removed = successors_.Remove(cert.node);
+  fingers_.Evict(cert.node);
+  const bool was_predecessor =
+      predecessor_ && predecessor_->actor == cert.node.actor;
+  if (was_predecessor) predecessor_.reset();
+  if (removed || was_predecessor) NotifyNeighborhoodChanged();
+}
+
+const std::vector<DeathCertificate>& ChordNode::FreshDeathCertificates() {
+  const double now = network_.simulator().Now();
+  std::erase_if(death_certs_, [&](const DeathCertificate& cert) {
+    return now - cert.issued_ms > options_.death_cert_ttl_ms;
+  });
+  return death_certs_;
+}
+
+void ChordNode::NotifyNeighborhoodChanged() {
+  if (app_ != nullptr && alive_) app_->OnNeighborhoodChanged();
 }
 
 ChordNode::RouteStep ChordNode::NextRouteStep(const Key& key) const {
@@ -302,16 +345,27 @@ void ChordNode::OnMessage(sim::ActorId from, std::unique_ptr<sim::Message> messa
 }
 
 void ChordNode::HandleStabilizeResponse(const StabilizeResponse& response) {
+  // Merge gossiped death certificates first: they scrub crashed nodes out
+  // of deep successor-list slots this node never probes directly, and the
+  // eviction must precede the list merge below or the same response could
+  // re-offer a peer it certifies dead.
+  if (options_.death_cert_ttl_ms > 0.0) {
+    for (const auto& cert : response.dead) AdoptDeathCertificate(cert);
+  }
+  bool changed = false;
   if (response.has_predecessor && !IsConfirmedDead(response.predecessor) &&
       response.predecessor.id.InOpenInterval(self_.id, stabilize_target_.id)) {
     // A node sits between us and our successor: adopt it.
-    successors_.Offer(response.predecessor);
+    changed |= successors_.Offer(response.predecessor);
   }
   // Merge the successor's list, filtering peers we know to be dead —
   // otherwise stale gossip would resurrect them indefinitely.
   for (const auto& peer : response.successors) {
-    if (!IsConfirmedDead(peer)) successors_.Offer(peer);
+    if (!IsConfirmedDead(peer)) changed |= successors_.Offer(peer);
   }
+  // New entries in the successor set matter to replication layers (the
+  // first R entries are the replica set); evictions already notify.
+  if (changed) NotifyNeighborhoodChanged();
 
   const NodeRef successor = Successor();
   if (successor.actor != self_.actor) {

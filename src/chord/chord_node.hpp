@@ -50,6 +50,12 @@ class ChordNode final : public sim::Actor {
     virtual void OnRangeTransfer(const Key& lo, const Key& hi, const NodeRef& new_owner) {
       (void)lo; (void)hi; (void)new_owner;
     }
+
+    /// The local neighborhood changed: the predecessor was adopted or
+    /// evicted, or a peer was confirmed dead and scrubbed from the
+    /// successor list. Replication layers use this to re-check ownership
+    /// (promote replicas) and re-push state to the current successor set.
+    virtual void OnNeighborhoodChanged() {}
   };
 
   struct Options {
@@ -59,6 +65,14 @@ class ChordNode final : public sim::Actor {
     std::size_t max_lookup_steps = 256; ///< Routing-loop safety valve.
     std::size_t lookup_retries = 3;     ///< Restarts after a dead hop.
     std::size_t successor_list_size = SuccessorList::kDefaultCapacity;
+    /// How long a death certificate keeps being gossiped after the original
+    /// eviction. Certificates ride StabilizeResponse backward along the
+    /// ring (one hop per stabilize round), so the TTL must cover
+    /// successor_list_size rounds; the default covers that with a wide
+    /// margin. 0 disables the gossip entirely — the pre-scrub behaviour,
+    /// where a crashed node can sit in deep successor-list slots of nodes
+    /// that never probe it (kept for the regression test).
+    double death_cert_ttl_ms = 30'000.0;
   };
 
   /// Registers itself with the network. `address` determines the ring id.
@@ -178,6 +192,12 @@ class ChordNode final : public sim::Actor {
 
   void AdoptPredecessor(const NodeRef& candidate);
   void EvictPeer(const NodeRef& peer);
+  /// Merge a gossiped certificate: evict the peer and keep re-gossiping the
+  /// certificate (with its original timestamp) until the TTL expires.
+  void AdoptDeathCertificate(const DeathCertificate& cert);
+  /// Certificates still within the TTL, pruned in place.
+  const std::vector<DeathCertificate>& FreshDeathCertificates();
+  void NotifyNeighborhoodChanged();
   bool IsConfirmedDead(const NodeRef& peer) const {
     return confirmed_dead_.contains(peer.actor);
   }
@@ -205,12 +225,18 @@ class ChordNode final : public sim::Actor {
   obs::Counter& ctr_successor_failover_;
   obs::Counter& ctr_predecessor_evicted_;
   obs::Counter& ctr_lookup_hop_timeout_;
+  obs::Counter& ctr_death_cert_scrub_;
 
   // Peers this node has seen depart or time out. Gossiped routing state
   // (merged successor lists, stale finger owners) is filtered against this
   // set so confirmed-dead peers cannot re-enter local tables. Actor ids
   // are never reused in a simulation, so the set is monotone-safe.
   std::unordered_set<sim::ActorId> confirmed_dead_;
+
+  // Certificates this node still gossips (first-hand evictions plus
+  // adopted ones, each with the *original* eviction time so propagation is
+  // TTL-bounded, not TTL-per-hop). Pruned lazily by FreshDeathCertificates.
+  std::vector<DeathCertificate> death_certs_;
 
   // Stabilize / check_predecessor in flight (one at a time each).
   bool stabilize_inflight_ = false;

@@ -47,14 +47,27 @@ struct StabilizeRequest final : rpc::RequestBase<StabilizeRequest> {
   std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes; }
 };
 
+/// Signed statement (in the protocol sense; we do not model crypto) that
+/// `node` has been observed dead. Gossiped backward along the ring inside
+/// StabilizeResponse so predecessors that never probe the dead node still
+/// scrub it from deep successor-list slots. `issued_ms` is the simulated
+/// time of the original eviction; certificates expire after
+/// ChordNode::Options::death_cert_ttl_ms, which bounds the gossip payload.
+struct DeathCertificate {
+  NodeRef node;
+  double issued_ms = 0.0;
+};
+
 struct StabilizeResponse final : rpc::ResponseBase<StabilizeResponse> {
   bool has_predecessor = false;
   NodeRef predecessor;
   std::vector<NodeRef> successors;
+  std::vector<DeathCertificate> dead;  ///< Unexpired death certificates.
 
   std::string_view TypeName() const noexcept override { return "chord.stabilize_resp"; }
   std::size_t ApproxBytes() const noexcept override {
-    return rpc::kCallIdBytes + 1 + kNodeRefBytes + successors.size() * kNodeRefBytes;
+    return rpc::kCallIdBytes + 1 + kNodeRefBytes + successors.size() * kNodeRefBytes +
+           dead.size() * (kNodeRefBytes + 8);
   }
 };
 

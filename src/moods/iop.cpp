@@ -65,6 +65,18 @@ void IopStore::SetTo(const hash::UInt160& object, const chord::NodeRef& to,
   visit.to_arrived = to_arrived;
 }
 
+const Visit* IopStore::DepartingVisit(const hash::UInt160& object,
+                                      Time to_arrived) const {
+  const auto it = visits_.find(object);
+  if (it == visits_.end()) return nullptr;
+  const auto& list = it->second;
+  auto position = std::lower_bound(
+      list.begin(), list.end(), to_arrived,
+      [](const Visit& v, Time t) { return v.arrived < t; });
+  if (position == list.begin()) return nullptr;
+  return &*std::prev(position);
+}
+
 bool IopStore::Knows(const hash::UInt160& object) const {
   return visits_.contains(object);
 }
@@ -105,6 +117,62 @@ std::vector<hash::UInt160> IopStore::InventoryAt(Time at) const {
     if (!departed) present.push_back(object);
   }
   return present;
+}
+
+bool IopStore::RepointLink(const hash::UInt160& object, Time arrived, bool fix_to,
+                           const chord::NodeRef& new_node) {
+  Visit* visit = FindVisit(object, arrived);
+  if (visit == nullptr) return false;
+  if (fix_to) {
+    if (!visit->to.has_value() || !visit->to->Valid()) return false;
+    visit->to = new_node;
+  } else {
+    if (!visit->from.has_value() || !visit->from->Valid()) return false;
+    visit->from = new_node;
+  }
+  return true;
+}
+
+void IopStore::RepointNode(sim::ActorId old_actor, const chord::NodeRef& new_node) {
+  for (auto& [object, list] : visits_) {
+    for (Visit& visit : list) {
+      if (visit.from.has_value() && visit.from->actor == old_actor) {
+        visit.from = new_node;
+      }
+      if (visit.to.has_value() && visit.to->actor == old_actor) {
+        visit.to = new_node;
+      }
+    }
+  }
+}
+
+std::vector<std::pair<hash::UInt160, std::vector<Visit>>> IopStore::ExtractAll() {
+  std::vector<std::pair<hash::UInt160, std::vector<Visit>>> all;
+  all.reserve(visits_.size());
+  for (auto& [object, list] : visits_) {
+    all.emplace_back(object, std::move(list));
+  }
+  visits_.clear();
+  total_visits_ = 0;
+  return all;
+}
+
+void IopStore::AdoptVisits(const hash::UInt160& object,
+                           const std::vector<Visit>& visits) {
+  for (const Visit& incoming : visits) {
+    RecordArrival(object, incoming.arrived);
+    Visit* local = FindVisit(object, incoming.arrived);
+    // Handed-over links fill gaps but never erase locally-known links: the
+    // adopter may already hold fresher M2/M3 state for a shared visit.
+    if (incoming.from.has_value() && !local->from.has_value()) {
+      local->from = incoming.from;
+      local->from_arrived = incoming.from_arrived;
+    }
+    if (incoming.to.has_value() && !local->to.has_value()) {
+      local->to = incoming.to;
+      local->to_arrived = incoming.to_arrived;
+    }
+  }
 }
 
 IopStore::DwellStats IopStore::DwellStatistics() const {

@@ -66,6 +66,12 @@ class IopStore {
   /// The visit with exactly this arrival time (the id used in IOP links).
   const Visit* VisitAt(const hash::UInt160& object, Time arrived) const;
 
+  /// The visit an M2 `to_arrived` refers to: the latest visit that began
+  /// STRICTLY before the object arrived at its next stop (same selection
+  /// rule as SetTo, exposed so the M2 handler can inspect the existing
+  /// link before overwriting it).
+  const Visit* DepartingVisit(const hash::UInt160& object, Time to_arrived) const;
+
   std::size_t ObjectCount() const noexcept { return visits_.size(); }
   std::uint64_t VisitCount() const noexcept { return total_visits_; }
 
@@ -83,6 +89,28 @@ class IopStore {
     double max_ms = 0.0;
   };
   DwellStats DwellStatistics() const;
+
+  // --- Graceful-leave handoff (see DESIGN.md §8) -----------------------
+
+  /// Rewrite one link of the visit identified by (`object`, `arrived`):
+  /// the to-link when `fix_to`, else the from-link. Only the node ref is
+  /// replaced — the linked arrival time still identifies the same visit,
+  /// which now lives at `new_node`. Returns false if the visit or the link
+  /// does not exist (repoint raced a record that was never created).
+  bool RepointLink(const hash::UInt160& object, Time arrived, bool fix_to,
+                   const chord::NodeRef& new_node);
+
+  /// Rewrite every from/to link that references `old_actor` to point at
+  /// `new_node` instead (self-link rewrite before a handoff extraction).
+  void RepointNode(sim::ActorId old_actor, const chord::NodeRef& new_node);
+
+  /// Remove and return every visit list (graceful-leave handoff).
+  std::vector<std::pair<hash::UInt160, std::vector<Visit>>> ExtractAll();
+
+  /// Merge visits handed over by a departing node into this store,
+  /// preserving time order. Visits at already-known timestamps keep the
+  /// link-richer record (handed-over links win over unset ones).
+  void AdoptVisits(const hash::UInt160& object, const std::vector<Visit>& visits);
 
   /// Visit-list iteration (snapshotting, audits). Order is unspecified.
   template <typename Fn>

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "chord/chord_ring.hpp"
 #include "tracking/tracking_system.hpp"
@@ -287,6 +290,25 @@ SiteMap CollectIndexSites(tracking::TrackingSystem& system) {
   return sites;
 }
 
+/// Per-scan-pass cache for CollectIndexSites: three index-wide checks need
+/// the same sweep, and at perf-smoke scale (512k objects) each build is a
+/// measurable slice of the scan budget. Keyed on the monitor's scan count,
+/// which only advances after a full pass over every check — so the first
+/// index-wide check of a pass builds the sweep and the rest reuse it.
+struct SiteCache {
+  std::uint64_t key = ~0ull;
+  SiteMap sites;
+};
+
+const SiteMap& CachedIndexSites(SiteCache& cache, std::uint64_t key,
+                                tracking::TrackingSystem& system) {
+  if (cache.key != key) {
+    cache.sites = CollectIndexSites(system);
+    cache.key = key;
+  }
+  return cache.sites;
+}
+
 }  // namespace
 
 void InstallTrackingChecks(InvariantMonitor& monitor,
@@ -299,6 +321,11 @@ void InstallTrackingChecks(InvariantMonitor& monitor,
   const double staleness = options.staleness_ms > 0.0
                                ? options.staleness_ms
                                : system.config().tracker.window.tmax_ms + 2000.0;
+  // One index sweep shared by the gateway/triangle/replication checks of a
+  // scan pass (see SiteCache); each lambda holds the cache alive, and the
+  // monitor (which owns the lambdas) outlives them.
+  auto site_cache = std::make_shared<SiteCache>();
+  const InvariantMonitor* mon = &monitor;
 
   if (options.check_iop) {
     monitor.AddCheck("iop.link", Severity::kError, [sys, staleness](CheckContext& ctx) {
@@ -319,10 +346,20 @@ void InstallTrackingChecks(InvariantMonitor& monitor,
             if (visit.to.has_value() && visit.to->Valid() &&
                 visit.to_arrived.has_value() && *visit.to_arrived <= settled_before) {
               tracking::TrackerNode* dest = sys->TrackerByActor(visit.to->actor);
+              // A link into a crashed node is unverifiable and unfixable —
+              // the corpse's records are gone and nothing can reciprocate.
+              // Trace walks surface it as a broken chain; graceful leavers
+              // are NOT exempt (their records were handed over, so a
+              // dangling reference is a handoff bug).
+              const bool dest_crashed = dest != nullptr &&
+                                        !dest->chord().Alive() &&
+                                        !dest->LeftGracefully();
               const moods::Visit* far =
                   dest == nullptr ? nullptr
                                   : dest->iop().VisitAt(object, *visit.to_arrived);
-              if (far == nullptr) {
+              if (dest_crashed) {
+                // Skip: nothing alive can make this link symmetric again.
+              } else if (far == nullptr) {
                 ctx.Report(self, subject("to"),
                            util::Format("to-link points at {} @ {:.3f} but no such "
                                         "visit exists there",
@@ -341,11 +378,15 @@ void InstallTrackingChecks(InvariantMonitor& monitor,
             if (visit.from.has_value() && visit.from->Valid() &&
                 visit.from_arrived.has_value() && visit.arrived <= settled_before) {
               tracking::TrackerNode* src = sys->TrackerByActor(visit.from->actor);
+              const bool src_crashed = src != nullptr &&
+                                       !src->chord().Alive() &&
+                                       !src->LeftGracefully();
               const moods::Visit* far =
                   src == nullptr ? nullptr
                                  : src->iop().VisitAt(object, *visit.from_arrived);
-              if (far == nullptr || !far->to.has_value() || !far->to->Valid() ||
-                  far->to->actor != self || far->to_arrived != visit.arrived) {
+              if (!src_crashed &&
+                  (far == nullptr || !far->to.has_value() || !far->to->Valid() ||
+                   far->to->actor != self || far->to_arrived != visit.arrived)) {
                 ctx.Report(self, subject("from"),
                            util::Format("from-link points at {} @ {:.3f} but its "
                                         "to-link does not point back here",
@@ -401,9 +442,9 @@ void InstallTrackingChecks(InvariantMonitor& monitor,
 
   if (options.check_gateway) {
     monitor.AddCheck("gateway.staleness", Severity::kError,
-                     [sys, staleness](CheckContext& ctx) {
+                     [sys, staleness, site_cache, mon](CheckContext& ctx) {
       const double settled_before = ctx.Now() - staleness;
-      const SiteMap sites = CollectIndexSites(*sys);
+      const SiteMap& sites = CachedIndexSites(*site_cache, mon->ScansRun(), *sys);
       sys->oracle().ForEachObject([&](const hash::UInt160& object,
                                       const std::vector<moods::OracleVisit>& trips) {
         if (trips.empty()) return;
@@ -433,9 +474,9 @@ void InstallTrackingChecks(InvariantMonitor& monitor,
 
   if (options.check_triangle) {
     monitor.AddCheck("triangle.coverage", Severity::kFatal,
-                     [sys, staleness](CheckContext& ctx) {
+                     [sys, staleness, site_cache, mon](CheckContext& ctx) {
       const double settled_before = ctx.Now() - staleness;
-      const SiteMap sites = CollectIndexSites(*sys);
+      const SiteMap& sites = CachedIndexSites(*site_cache, mon->ScansRun(), *sys);
       sys->oracle().ForEachObject([&](const hash::UInt160& object,
                                       const std::vector<moods::OracleVisit>& trips) {
         if (trips.empty()) return;
@@ -468,6 +509,153 @@ void InstallTrackingChecks(InvariantMonitor& monitor,
                                   found.size()));
         }
       });
+    });
+  }
+
+  if (options.check_replication) {
+    monitor.AddCheck("gateway.replication", Severity::kError,
+                     [sys, staleness, site_cache, mon](CheckContext& ctx) {
+      if (!sys->config().tracker.replicate_index) return;
+      const double settled_before = ctx.Now() - staleness;
+      const auto sorted = SortedAliveNodes(sys->ring());
+      const std::size_t n = sorted.size();
+      if (n < 2) return;
+      const std::size_t r = std::min<std::size_t>(
+          sys->config().tracker.replication_factor, n - 1);
+      if (r == 0) return;
+      // Resolve every alive node's ring position and first r successor
+      // trackers up front, so the per-object loop below only does
+      // pointer-keyed lookups (this check visits every indexed object —
+      // 512k at perf-smoke scale — every scan).
+      std::unordered_map<const tracking::TrackerNode*, std::size_t> position;
+      position.reserve(n);
+      std::vector<std::vector<tracking::TrackerNode*>> successors(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (tracking::TrackerNode* tracker =
+                sys->TrackerByActor(sorted[i]->Self().actor)) {
+          position.emplace(tracker, i);
+        }
+        successors[i].reserve(r);
+        for (std::size_t j = 1; j <= r; ++j) {
+          successors[i].push_back(
+              sys->TrackerByActor(sorted[(i + j) % n]->Self().actor));
+        }
+      }
+      const SiteMap& sites = CachedIndexSites(*site_cache, mon->ScansRun(), *sys);
+      for (const auto& [object, holders] : sites) {
+        if (holders.empty()) continue;
+        moods::Time freshest = holders.front().entry.latest_arrived;
+        for (const EntrySite& site : holders) {
+          freshest = std::max(freshest, site.entry.latest_arrived);
+        }
+        // The replica push itself needs time to land.
+        if (freshest > settled_before) continue;
+        bool covered = false;
+        for (const EntrySite& site : holders) {
+          if (site.entry.latest_arrived != freshest) continue;
+          const auto pos = position.find(site.node);
+          if (pos == position.end()) continue;
+          bool all_successors_hold_it = true;
+          for (tracking::TrackerNode* succ : successors[pos->second]) {
+            bool holds = false;
+            if (succ != nullptr) {
+              const tracking::IndexEntry* replica =
+                  succ->replica_store().Find(object);
+              holds = replica != nullptr && replica->latest_arrived >= freshest;
+              if (!holds) {
+                // The successor may hold the object authoritatively
+                // instead (promotion or index migration landed there).
+                for (const EntrySite& other : holders) {
+                  if (other.node == succ &&
+                      other.entry.latest_arrived >= freshest) {
+                    holds = true;
+                    break;
+                  }
+                }
+              }
+            }
+            if (!holds) {
+              all_successors_hold_it = false;
+              break;
+            }
+          }
+          if (all_successors_hold_it) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          ctx.Report(holders.front().node->Self().actor, object.ToShortHex(),
+                     util::Format("freshest entry (@ {:.3f}) is not mirrored on "
+                                  "the {} successors of any holder: a gateway "
+                                  "crash would lose L(o,t)",
+                                  freshest, r));
+        }
+      }
+    });
+  }
+
+  if (options.check_handoff) {
+    monitor.AddCheck("handoff.complete", Severity::kError, [sys](CheckContext& ctx) {
+      // Nodes that finished the two-phase leave protocol. A node crashed
+      // mid-leave never sets the flag and is judged like any crash.
+      std::unordered_set<sim::ActorId> departed;
+      for (std::size_t i = 0; i < sys->NodeCount(); ++i) {
+        tracking::TrackerNode& tracker = sys->Tracker(i);
+        if (!tracker.chord().Alive() && tracker.LeftGracefully()) {
+          departed.insert(tracker.Self().actor);
+        }
+      }
+      if (departed.empty()) return;
+      for (std::size_t i = 0; i < sys->NodeCount(); ++i) {
+        tracking::TrackerNode& tracker = sys->Tracker(i);
+        if (!tracker.chord().Alive()) continue;
+        const sim::ActorId self = tracker.Self().actor;
+        const std::string& address = tracker.chord().Address();
+        tracker.iop().ForEachObject([&](const hash::UInt160& object,
+                                        const std::vector<moods::Visit>& visits) {
+          for (const moods::Visit& visit : visits) {
+            if (visit.from.has_value() && departed.contains(visit.from->actor)) {
+              ctx.Report(self,
+                         util::Format("{}@{:.3f}:from", object.ToShortHex(),
+                                      visit.arrived),
+                         util::Format("from-link references departed node {}",
+                                      visit.from->Describe()));
+            }
+            if (visit.to.has_value() && departed.contains(visit.to->actor)) {
+              ctx.Report(self,
+                         util::Format("{}@{:.3f}:to", object.ToShortHex(),
+                                      visit.arrived),
+                         util::Format("to-link references departed node {}",
+                                      visit.to->Describe()));
+            }
+          }
+        });
+        const auto report_entry = [&](const hash::UInt160& object,
+                                      const tracking::IndexEntry& entry,
+                                      const char* where) {
+          if (!departed.contains(entry.latest_node.actor)) return;
+          ctx.Report(self,
+                     util::Format("{}:{}:{}", address, object.ToShortHex(), where),
+                     util::Format("{} entry says latest location is departed "
+                                  "node {}",
+                                  where, entry.latest_node.Describe()));
+        };
+        for (const auto& [object, entry] : tracker.individual_index().Entries()) {
+          report_entry(object, entry, "index");
+        }
+        for (const auto& prefix : tracker.prefix_store().Prefixes()) {
+          const tracking::PrefixBucket* bucket =
+              tracker.prefix_store().TryBucket(prefix);
+          if (bucket == nullptr) continue;
+          for (const auto& [object, entry] : bucket->Entries()) {
+            report_entry(object, entry, "index");
+          }
+        }
+        for (const auto& [object, record] : tracker.replica_store().Records()) {
+          report_entry(object, record.entry, "replica");
+        }
+      }
     });
   }
 

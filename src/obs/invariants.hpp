@@ -163,6 +163,16 @@ void InstallRingChecks(InvariantMonitor& monitor, const chord::ChordRing& ring,
 ///   prefix.shape       buckets live at level Lp or Lp+1 on the gateway
 ///                      that owns their prefix key; individual entries
 ///                      live on the owner of the object key         (error)
+///   gateway.replication  every settled object's freshest index entry is
+///                      mirrored (replica or authoritative copy) on the
+///                      first min(R, alive-1) true successors of some
+///                      node holding it — i.e. a single gateway crash
+///                      cannot lose L(o,t). No-op unless the tracker
+///                      config enables replicate_index             (error)
+///   handoff.complete   no alive node's IOP link, index entry, or replica
+///                      references a node that has completed a graceful
+///                      leave — the departing handoff repointed them all
+///                                                                 (error)
 /// `system` must outlive the monitor.
 struct TrackingInvariantOptions {
   /// Updates younger than this are considered in flight and not judged
@@ -174,6 +184,8 @@ struct TrackingInvariantOptions {
   bool check_gateway = true;
   bool check_triangle = true;
   bool check_prefix_shape = true;
+  bool check_replication = true;
+  bool check_handoff = true;
 };
 void InstallTrackingChecks(InvariantMonitor& monitor,
                            tracking::TrackingSystem& system,

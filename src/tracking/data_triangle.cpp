@@ -135,6 +135,15 @@ void TrackerNode::MaybeDelegate(const hash::Prefix& prefix, PrefixBucket& bucket
   auto moving = bucket.ExtractEarliest(count);
   chord_.network().metrics().Bump("track.triangle_delegation");
   delegated_children_.insert(prefix);
+  if (config_.replicate_index) {
+    // The entries leave this gateway; replicas must not resurrect them at
+    // this level on a later promotion. The child gateways re-replicate
+    // them at their own successors on accept.
+    std::vector<hash::UInt160> moved;
+    moved.reserve(moving.size());
+    for (const auto& [object, _] : moving) moved.push_back(object);
+    SendReplicaErase(std::move(moved));
+  }
 
   // Partition by the next bit after the prefix.
   std::vector<std::pair<hash::UInt160, IndexEntry>> child0;
@@ -177,12 +186,17 @@ void TrackerNode::AcceptEntries(
   // normalizes to exactly Lp so no entry strands at an unprobed level.
   if (as_delegation && prefix.length == lp + 1) {
     PrefixBucket& bucket = store_.BucketFor(prefix);
+    std::vector<ReplicaUpdate::Item> accepted;
     for (auto& [object, entry] : entries) {
       const IndexEntry* existing = bucket.Find(object);
       if (existing == nullptr || existing->latest_arrived < entry.latest_arrived) {
         bucket.Upsert(object, entry);
+        if (config_.replicate_index) {
+          accepted.push_back({object, entry.latest_node, entry.latest_arrived, prefix});
+        }
       }
     }
+    ReplicateEntries(accepted, obs::TraceContext{});
     return;
   }
   if (prefix.length < lp) {
@@ -201,12 +215,17 @@ void TrackerNode::AcceptEntries(
     return;
   }
   PrefixBucket& bucket = store_.BucketFor(prefix);
+  std::vector<ReplicaUpdate::Item> accepted;
   for (auto& [object, entry] : entries) {
     const IndexEntry* existing = bucket.Find(object);
     if (existing == nullptr || existing->latest_arrived < entry.latest_arrived) {
       bucket.Upsert(object, entry);
+      if (config_.replicate_index) {
+        accepted.push_back({object, entry.latest_node, entry.latest_arrived, prefix});
+      }
     }
   }
+  ReplicateEntries(accepted, obs::TraceContext{});
 }
 
 void TrackerNode::OnPrefixLengthChanged(unsigned new_lp) {

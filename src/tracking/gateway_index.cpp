@@ -40,6 +40,14 @@ std::vector<std::pair<hash::UInt160, IndexEntry>> PrefixBucket::ExtractAll() {
   return all;
 }
 
+std::vector<std::pair<hash::UInt160, ReplicaRecord>> ReplicaStore::ExtractAll() {
+  std::vector<std::pair<hash::UInt160, ReplicaRecord>> all;
+  all.reserve(records_.size());
+  for (const auto& [key, record] : records_) all.emplace_back(key, record);
+  records_.clear();
+  return all;
+}
+
 PrefixBucket* PrefixIndexStore::TryBucket(const hash::Prefix& prefix) {
   const auto it = buckets_.find(prefix);
   return it == buckets_.end() ? nullptr : &it->second;

@@ -60,6 +60,51 @@ class PrefixBucket {
   EntryMap entries_;
 };
 
+/// Replicated copy of another gateway's entry, tagged with the prefix of
+/// the bucket it came from so a promoted replica lands in the right bucket
+/// (length 0 = individual-mode entry; the object key is the gateway key).
+struct ReplicaRecord {
+  IndexEntry entry;
+  hash::Prefix prefix;
+};
+
+/// Backup entries a node holds on behalf of preceding gateways (the
+/// replication extension, see DESIGN.md §8). Flat by object: a replica
+/// answers point lookups and is promoted wholesale on ownership change, so
+/// bucket structure would buy nothing.
+class ReplicaStore {
+ public:
+  using RecordMap =
+      std::unordered_map<hash::UInt160, ReplicaRecord, hash::UInt160Hasher>;
+
+  const IndexEntry* Find(const hash::UInt160& object) const {
+    const auto it = records_.find(object);
+    return it == records_.end() ? nullptr : &it->second.entry;
+  }
+  /// Upsert guarded by freshness: stale updates (older latest_arrived than
+  /// what is already held) are ignored. Returns true if stored.
+  bool Offer(const hash::UInt160& object, const ReplicaRecord& record) {
+    const auto it = records_.find(object);
+    if (it != records_.end() &&
+        it->second.entry.latest_arrived > record.entry.latest_arrived) {
+      return false;
+    }
+    records_[object] = record;
+    return true;
+  }
+  bool Remove(const hash::UInt160& object) { return records_.erase(object) > 0; }
+
+  std::size_t Size() const noexcept { return records_.size(); }
+  bool Empty() const noexcept { return records_.empty(); }
+  const RecordMap& Records() const noexcept { return records_; }
+
+  /// Removes and returns every record (graceful-leave handoff).
+  std::vector<std::pair<hash::UInt160, ReplicaRecord>> ExtractAll();
+
+ private:
+  RecordMap records_;
+};
+
 /// All prefix buckets hosted on one node.
 class PrefixIndexStore {
  public:

@@ -82,10 +82,16 @@ struct IopToUpdate final : sim::MessageBase<IopToUpdate> {
     Time to_arrived = 0.0;
   };
   std::vector<Item> items;
+  /// Set on M2s forwarded along an existing IOP chain (the gateway's index
+  /// entry was stale — e.g. resurrected from an old replica after a crash
+  /// — and named the wrong previous node). The node that finally accepts a
+  /// re-announced link also re-sends the matching M3 so the capturer's
+  /// orphaned from-link heals.
+  bool reannounce = false;
 
   std::string_view TypeName() const noexcept override { return "track.iop_to"; }
   std::size_t ApproxBytes() const noexcept override {
-    return items.size() * (20 + chord::kNodeRefBytes + 8);
+    return 1 + items.size() * (20 + chord::kNodeRefBytes + 8);
   }
 };
 
@@ -99,28 +105,76 @@ struct IopFromUpdate final : sim::MessageBase<IopFromUpdate> {
     Time from_arrived = 0.0;     ///< Arrival time at `from` (visit id there).
   };
   std::vector<Item> items;
+  /// Set on M3s re-sent while healing an orphaned from-link (see
+  /// IopToUpdate::reannounce). Re-announced links only move the from-link
+  /// deeper along the chain (monotonically later `from_arrived`), so
+  /// stragglers cannot undo a better correction.
+  bool reannounce = false;
 
   std::string_view TypeName() const noexcept override { return "track.iop_from"; }
   std::size_t ApproxBytes() const noexcept override {
-    return items.size() * (20 + 8 + chord::kNodeRefBytes + 8);
+    return 1 + items.size() * (20 + 8 + chord::kNodeRefBytes + 8);
   }
 };
 
 /// Gateway-index replication (extension; see DESIGN.md): every index
-/// update is mirrored to the gateway's ring successor, which by Chord's
-/// ownership rule becomes the key's owner if the gateway crashes — so the
-/// backup is exactly where queries will look next.
-struct ReplicaUpdate final : sim::MessageBase<ReplicaUpdate> {
+/// update is mirrored to the gateway's first R ring successors, which by
+/// Chord's ownership rule are exactly the nodes that become the key's
+/// owner if the gateway (and its nearer successors) crash — the backup is
+/// where queries will look next. Sent as an acknowledged RPC so a push to
+/// a transiently-unreachable successor retries with backoff instead of
+/// silently dropping. `prefix` tags each item with the bucket it came from
+/// (length 0 = individual-mode entry) so promotion after a crash restores
+/// it at the right triangle level.
+struct ReplicaUpdate final : rpc::RequestBase<ReplicaUpdate> {
   struct Item {
     Key object;
     NodeRef latest_node;
     Time latest_arrived = 0.0;
+    hash::Prefix prefix;
   };
   std::vector<Item> items;
 
   std::string_view TypeName() const noexcept override { return "track.replica"; }
   std::size_t ApproxBytes() const noexcept override {
-    return items.size() * (20 + chord::kNodeRefBytes + 8);
+    return rpc::kCallIdBytes + items.size() * (20 + chord::kNodeRefBytes + 8 + 9);
+  }
+};
+
+struct ReplicaAck final : rpc::ResponseBase<ReplicaAck> {
+  std::string_view TypeName() const noexcept override { return "track.replica_ack"; }
+  std::size_t ApproxBytes() const noexcept override { return rpc::kCallIdBytes; }
+};
+
+/// Anti-entropy removal: the authoritative gateway delegated or migrated
+/// these entries away, so replicas must not resurrect them as stale copies
+/// on a later promotion. Fire-and-forget — a lost erase only widens the
+/// sanctioned-duplicate window the Data Triangle already tolerates.
+struct ReplicaErase final : sim::MessageBase<ReplicaErase> {
+  std::vector<Key> objects;
+
+  std::string_view TypeName() const noexcept override { return "track.replica_erase"; }
+  std::size_t ApproxBytes() const noexcept override { return objects.size() * 20; }
+};
+
+/// Graceful-leave link re-announce: the departing node hands its IOP visit
+/// records to its successor and tells every linked neighbour to repoint
+/// the matching link at the successor, so TR walks keep resolving across
+/// the departure. `arrived` identifies the neighbour's own visit;
+/// `fix_to` selects which side of that visit referenced the departing
+/// node.
+struct IopRepoint final : sim::MessageBase<IopRepoint> {
+  struct Item {
+    Key object;
+    Time arrived = 0.0;   ///< Visit id at the receiving node.
+    bool fix_to = false;  ///< true: repoint to-link, false: from-link.
+    NodeRef new_node;     ///< The departing node's successor.
+  };
+  std::vector<Item> items;
+
+  std::string_view TypeName() const noexcept override { return "track.iop_repoint"; }
+  std::size_t ApproxBytes() const noexcept override {
+    return items.size() * (20 + 8 + 1 + chord::kNodeRefBytes);
   }
 };
 

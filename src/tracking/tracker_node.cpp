@@ -27,7 +27,13 @@ TrackerNode::TrackerNode(chord::ChordNode& chord, PeerDirectory& peers,
       ctr_probe_timeout_(
           chord.network().metrics().registry().GetCounter("track.probe_timeout")),
       ctr_walk_timeout_(
-          chord.network().metrics().registry().GetCounter("track.walk_timeout")) {
+          chord.network().metrics().registry().GetCounter("track.walk_timeout")),
+      ctr_replica_promoted_(
+          chord.network().metrics().registry().GetCounter("track.replica_promoted")),
+      ctr_anti_entropy_(
+          chord.network().metrics().registry().GetCounter("track.anti_entropy")),
+      ctr_chain_forward_(
+          chord.network().metrics().registry().GetCounter("track.iop_chain_forward")) {
   chord_.SetAppHandler(this);
   rpc_.Bind(Self().actor);
   server_.Bind(Self().actor);
@@ -56,9 +62,17 @@ void TrackerNode::RegisterHandlers() {
       [this](sim::ActorId, std::unique_ptr<IopFromUpdate> update) {
         HandleIopFrom(*update);
       });
-  dispatcher_.On<ReplicaUpdate>(
-      [this](sim::ActorId, std::unique_ptr<ReplicaUpdate> update) {
-        HandleReplica(*update);
+  dispatcher_.On<ReplicaErase>(
+      [this](sim::ActorId, std::unique_ptr<ReplicaErase> erase) {
+        HandleReplicaErase(*erase);
+      });
+  dispatcher_.On<IopRepoint>(
+      [this](sim::ActorId, std::unique_ptr<IopRepoint> update) {
+        HandleIopRepoint(*update);
+      });
+  server_.Handle<ReplicaUpdate>(
+      dispatcher_, [this](sim::ActorId, std::unique_ptr<ReplicaUpdate> update) {
+        return HandleReplica(*update);
       });
   server_.Handle<TraceProbe>(
       dispatcher_, [this](sim::ActorId, std::unique_ptr<TraceProbe> probe) {
@@ -70,6 +84,7 @@ void TrackerNode::RegisterHandlers() {
       });
   rpc_.RouteResponses<TraceProbeReply>(dispatcher_);
   rpc_.RouteResponses<IopWalkResponse>(dispatcher_);
+  rpc_.RouteResponses<ReplicaAck>(dispatcher_);
   flood_.RegisterHandlers(dispatcher_);
 }
 
@@ -219,8 +234,9 @@ void TrackerNode::HandleObjectArrival(const ObjectArrival& arrival) {
   if (previous == nullptr || previous->latest_arrived <= arrival.arrived) {
     individual_.Upsert(arrival.object, IndexEntry{arrival.at, arrival.arrived});
     if (config_.replicate_index) {
-      ReplicateEntries({{arrival.object, arrival.at, arrival.arrived}},
-                       arrival.trace);
+      ReplicateEntries(
+          {{arrival.object, arrival.at, arrival.arrived, hash::Prefix{}}},
+          arrival.trace);
     }
   }
 }
@@ -285,7 +301,8 @@ void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
     items.reserve(arrival.objects.size());
     for (const auto& [object, arrived] : arrival.objects) {
       if (const IndexEntry* entry = bucket.Find(object)) {
-        items.push_back({object, entry->latest_node, entry->latest_arrived});
+        items.push_back(
+            {object, entry->latest_node, entry->latest_arrived, arrival.prefix});
       }
     }
     ReplicateEntries(items, arrival.trace);
@@ -294,39 +311,313 @@ void TrackerNode::HandleGroupArrival(const GroupArrival& arrival) {
   if (config_.enable_triangle) MaybeDelegate(arrival.prefix, bucket);
 }
 
-void TrackerNode::ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items,
-                                   const obs::TraceContext& ctx) {
-  if (items.empty()) return;
-  const chord::NodeRef successor = chord_.Successor();
-  if (successor.actor == Self().actor) return;  // Single-node ring.
-  auto update = std::make_unique<ReplicaUpdate>();
-  update->items = items;
-  update->trace = ctx;
-  chord_.network().Send(Self().actor, successor.actor, std::move(update));
+std::vector<chord::NodeRef> TrackerNode::ReplicaTargets() const {
+  std::vector<chord::NodeRef> targets;
+  for (const chord::NodeRef& node : chord_.successors().Entries()) {
+    if (node.actor == Self().actor) continue;
+    bool seen = false;
+    for (const auto& existing : targets) {
+      if (existing.actor == node.actor) { seen = true; break; }
+    }
+    if (seen) continue;
+    targets.push_back(node);
+    if (targets.size() >= config_.replication_factor) break;
+  }
+  return targets;
 }
 
-void TrackerNode::HandleReplica(const ReplicaUpdate& update) {
+void TrackerNode::ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items,
+                                   const obs::TraceContext& ctx) {
+  if (items.empty() || !config_.replicate_index) return;
+  for (const chord::NodeRef& target : ReplicaTargets()) {
+    auto update = std::make_unique<ReplicaUpdate>();
+    update->items = items;
+    update->trace = ctx;
+    // Losing a push would silently orphan the replica until the next
+    // anti-entropy round, so it retries; a target that stays dead is
+    // handled by chord maintenance, not here.
+    rpc_.Call<ReplicaAck>(target.actor, std::move(update), config_.rpc,
+                          [](rpc::Status, std::unique_ptr<ReplicaAck>) {});
+  }
+}
+
+std::unique_ptr<ReplicaAck> TrackerNode::HandleReplica(const ReplicaUpdate& update) {
   for (const auto& item : update.items) {
-    const IndexEntry* existing = replica_.Find(item.object);
-    if (existing == nullptr || existing->latest_arrived <= item.latest_arrived) {
-      replica_.Upsert(item.object, IndexEntry{item.latest_node, item.latest_arrived});
-    }
+    replica_.Offer(item.object,
+                   ReplicaRecord{IndexEntry{item.latest_node, item.latest_arrived},
+                                 item.prefix});
+  }
+  return std::make_unique<ReplicaAck>();
+}
+
+void TrackerNode::HandleReplicaErase(const ReplicaErase& erase) {
+  for (const auto& object : erase.objects) replica_.Remove(object);
+}
+
+void TrackerNode::SendReplicaErase(std::vector<hash::UInt160> objects) {
+  if (objects.empty() || !config_.replicate_index) return;
+  for (const chord::NodeRef& target : ReplicaTargets()) {
+    auto erase = std::make_unique<ReplicaErase>();
+    erase->objects = objects;
+    chord_.network().Send(Self().actor, target.actor, std::move(erase));
+  }
+}
+
+void TrackerNode::HandleIopRepoint(const IopRepoint& update) {
+  for (const auto& item : update.items) {
+    iop_.RepointLink(item.object, item.arrived, item.fix_to, item.new_node);
   }
 }
 
 void TrackerNode::HandleIopTo(const IopToUpdate& update) {
   for (const auto& item : update.items) {
+    const moods::Visit* visit =
+        iop_.DepartingVisit(item.object, item.to_arrived);
+    if (visit != nullptr && visit->to.has_value() &&
+        visit->to_arrived.has_value() &&
+        *visit->to_arrived != item.to_arrived) {
+      // The gateway named this node as the object's previous stop, but the
+      // local chain already continues elsewhere — its index entry was
+      // stale (e.g. resurrected from an old replica after a crash).
+      // Overwriting would orphan the rest of the chain; instead the link
+      // walks forward until the true tail accepts it and re-announces
+      // itself to the capturer.
+      if (*visit->to_arrived < item.to_arrived) {
+        auto forward = std::make_unique<IopToUpdate>();
+        forward->reannounce = true;
+        forward->items.push_back(item);
+        ctr_chain_forward_.Add();
+        chord_.network().Send(Self().actor, visit->to->actor,
+                              std::move(forward));
+        // Repoint the capturer at this hop's successor right away: if the
+        // chain dead-ends at a crashed node further on, the from-link still
+        // converges to the deepest reachable hop (the monotonic guard in
+        // HandleIopFrom keeps later, deeper corrections from being undone).
+        auto correction = std::make_unique<IopFromUpdate>();
+        correction->reannounce = true;
+        correction->items.push_back(
+            {item.object, item.to_arrived, *visit->to, *visit->to_arrived});
+        chord_.network().Send(Self().actor, item.to.actor,
+                              std::move(correction));
+        continue;
+      }
+      // The new link precedes the known successor: splice it in here and
+      // push the old successor one hop down the chain (its from-link gets
+      // re-announced by whoever accepts the forwarded M2).
+      auto forward = std::make_unique<IopToUpdate>();
+      forward->reannounce = true;
+      forward->items.push_back({item.object, *visit->to, *visit->to_arrived});
+      ctr_chain_forward_.Add();
+      chord_.network().Send(Self().actor, item.to.actor, std::move(forward));
+    }
     iop_.SetTo(item.object, item.to, item.to_arrived);
+    if (update.reannounce && visit != nullptr) {
+      // This node turned out to be the true predecessor of the forwarded
+      // link; the capturer's from-link (set from the stale index) must be
+      // rewritten to point here.
+      auto m3 = std::make_unique<IopFromUpdate>();
+      m3->reannounce = true;
+      m3->items.push_back(
+          {item.object, item.to_arrived, Self(), visit->arrived});
+      chord_.network().Send(Self().actor, item.to.actor, std::move(m3));
+    }
   }
 }
 
 void TrackerNode::HandleIopFrom(const IopFromUpdate& update) {
   for (const auto& item : update.items) {
+    if (update.reannounce) {
+      // Chain-repair corrections only ever move a from-link deeper along
+      // the chain; a straggler naming an earlier predecessor must not undo
+      // a better correction that already landed.
+      const moods::Visit* visit = iop_.VisitAt(item.object, item.arrived);
+      if (visit != nullptr && visit->from_arrived.has_value() &&
+          *visit->from_arrived >= item.from_arrived) {
+        continue;
+      }
+    }
     iop_.SetFrom(item.object, item.arrived,
                  item.from.Valid() ? item.from : chord::NodeRef{},
                  item.from.Valid() ? std::optional<moods::Time>(item.from_arrived)
                                    : std::nullopt);
   }
+}
+
+// --- Replica promotion & anti-entropy ----------------------------------------
+
+void TrackerNode::PromoteOwnedReplicas() {
+  // Without a predecessor Owns() claims the whole ring, which would promote
+  // every replica this node holds; wait for stabilization to set one.
+  if (!chord_.Predecessor().has_value()) return;
+  std::vector<std::pair<hash::UInt160, ReplicaRecord>> promote;
+  for (const auto& [object, record] : replica_.Records()) {
+    const chord::Key key =
+        record.prefix.length == 0 ? object : hash::GroupKey(record.prefix);
+    if (chord_.Owns(key)) promote.emplace_back(object, record);
+  }
+  if (promote.empty()) return;
+  std::vector<std::pair<hash::UInt160, IndexEntry>> individual;
+  std::map<hash::Prefix, std::vector<std::pair<hash::UInt160, IndexEntry>>> grouped;
+  for (auto& [object, record] : promote) {
+    replica_.Remove(object);
+    ctr_replica_promoted_.Add();
+    if (record.prefix.length == 0) {
+      individual.emplace_back(object, record.entry);
+    } else {
+      grouped[record.prefix].emplace_back(object, record.entry);
+    }
+  }
+  // Promotion goes through the standard accept paths so entries normalize
+  // to the current triangle shape (and re-replicate at this node's own
+  // successors).
+  if (!individual.empty()) AcceptIndividualEntries(std::move(individual));
+  for (auto& [prefix, entries] : grouped) {
+    AcceptEntries(prefix, std::move(entries));
+  }
+}
+
+void TrackerNode::ScheduleAntiEntropy() {
+  if (anti_entropy_scheduled_) return;
+  anti_entropy_scheduled_ = true;
+  auto& simulator = chord_.network().simulator();
+  anti_entropy_timer_ = simulator.ScheduleAt(
+      simulator.Now() + config_.anti_entropy_delay_ms, [this] {
+        anti_entropy_scheduled_ = false;
+        if (chord_.Alive() && !leaving_) RunAntiEntropy();
+      });
+}
+
+void TrackerNode::RunAntiEntropy() {
+  std::vector<ReplicaUpdate::Item> items;
+  items.reserve(individual_.Size() + store_.TotalEntries());
+  for (const auto& [object, entry] : individual_.Entries()) {
+    items.push_back({object, entry.latest_node, entry.latest_arrived, hash::Prefix{}});
+  }
+  for (const auto& prefix : store_.Prefixes()) {
+    const PrefixBucket* bucket = store_.TryBucket(prefix);
+    for (const auto& [object, entry] : bucket->Entries()) {
+      items.push_back({object, entry.latest_node, entry.latest_arrived, prefix});
+    }
+  }
+  if (items.empty()) return;
+  ctr_anti_entropy_.Add();
+  ReplicateEntries(items, obs::TraceContext{});
+}
+
+// --- Graceful departure -------------------------------------------------------
+
+TrackerNode::LeaveSummary TrackerNode::BeginLeave() {
+  LeaveSummary summary;
+  if (leaving_ || !chord_.Alive()) return summary;
+  leaving_ = true;
+  summary.left = true;
+  FlushWindow();
+  const chord::NodeRef successor = chord_.Successor();
+  summary.successor = successor;
+  if (successor.actor == Self().actor) {
+    // Last node standing: nobody to hand state to.
+    chord_.Leave();
+    left_gracefully_ = true;
+    return summary;
+  }
+  TrackerNode* heir = peers_.TrackerByActor(successor.actor);
+  const double now = chord_.network().simulator().Now();
+  if (heir != nullptr) {
+    // Recapture every on-premise object at the heir: the gateway index
+    // moves to a live node through the ordinary M1 path, and the resulting
+    // M2 extends this node's IOP chain toward the heir while this node can
+    // still receive it (hence the settle delay before FinishLeave).
+    const auto inventory = iop_.InventoryAt(now);
+    summary.rehomed = inventory.size();
+    if (!inventory.empty()) {
+      ChargeRpc("track.rehome", inventory.size() * 20, "track.rehome_ack", 8,
+                successor.actor);
+      for (const auto& object : inventory) heir->OnCapture(object, now);
+    }
+  }
+  leave_timer_ = chord_.network().simulator().ScheduleAt(
+      now + config_.leave_settle_ms, [this] { FinishLeave(); });
+  return summary;
+}
+
+void TrackerNode::FinishLeave() {
+  if (!chord_.Alive()) return;  // Crashed mid-leave; nothing left to hand off.
+  FlushWindow();
+  const chord::NodeRef successor = chord_.Successor();
+  TrackerNode* heir =
+      successor.actor == Self().actor ? nullptr : peers_.TrackerByActor(successor.actor);
+  if (heir == nullptr || heir == this) {
+    chord_.Leave();
+    left_gracefully_ = true;
+    return;
+  }
+
+  // Re-announce IOP links: every neighbour holding a link at this node is
+  // told to point it at the heir, where the records are about to live.
+  std::map<sim::ActorId, std::unique_ptr<IopRepoint>> batches;
+  iop_.ForEachObject([&](const hash::UInt160& object,
+                         const std::vector<moods::Visit>& visits) {
+    for (const moods::Visit& visit : visits) {
+      if (visit.from.has_value() && visit.from->Valid() &&
+          visit.from->actor != Self().actor && visit.from_arrived.has_value()) {
+        auto& batch = batches[visit.from->actor];
+        if (!batch) batch = std::make_unique<IopRepoint>();
+        batch->items.push_back(
+            {object, *visit.from_arrived, /*fix_to=*/true, successor});
+      }
+      if (visit.to.has_value() && visit.to->Valid() &&
+          visit.to->actor != Self().actor && visit.to_arrived.has_value()) {
+        auto& batch = batches[visit.to->actor];
+        if (!batch) batch = std::make_unique<IopRepoint>();
+        batch->items.push_back(
+            {object, *visit.to_arrived, /*fix_to=*/false, successor});
+      }
+    }
+  });
+  for (auto& [actor, batch] : batches) {
+    chord_.network().Send(Self().actor, actor, std::move(batch));
+  }
+
+  // Self-links (revisits) follow the records to the heir.
+  iop_.RepointNode(Self().actor, successor);
+  auto records = iop_.ExtractAll();
+  if (!records.empty()) {
+    std::size_t visit_count = 0;
+    for (const auto& [object, visits] : records) visit_count += visits.size();
+    ChargeRpc("track.iop_handoff",
+              visit_count * moods::IopStore::kVisitWireBytes,
+              "track.iop_handoff_ack", 8, successor.actor);
+    heir->AdoptIopRecords(std::move(records));
+  }
+  if (!delegated_children_.empty()) {
+    heir->AdoptDelegationMarkers(delegated_children_);
+  }
+  if (!replica_.Empty()) {
+    auto replicas = replica_.ExtractAll();
+    ChargeRpc("track.replica_handoff", replicas.size() * (20 + 32 + 9),
+              "track.replica_handoff_ack", 8, successor.actor);
+    heir->AdoptReplicaRecords(std::move(replicas));
+  }
+
+  // Chord leave migrates the gateway index (OnRangeTransfer) and notifies
+  // ring neighbours before going down.
+  chord_.Leave();
+  left_gracefully_ = true;
+}
+
+void TrackerNode::AdoptIopRecords(
+    std::vector<std::pair<hash::UInt160, std::vector<moods::Visit>>> records) {
+  for (auto& [object, visits] : records) iop_.AdoptVisits(object, visits);
+}
+
+void TrackerNode::AdoptDelegationMarkers(const std::set<hash::Prefix>& prefixes) {
+  delegated_children_.insert(prefixes.begin(), prefixes.end());
+}
+
+void TrackerNode::AdoptReplicaRecords(
+    std::vector<std::pair<hash::UInt160, ReplicaRecord>> records) {
+  for (auto& [object, record] : records) replica_.Offer(object, record);
+  if (config_.replicate_index) PromoteOwnedReplicas();
 }
 
 // --- AppHandler --------------------------------------------------------------
@@ -369,14 +660,30 @@ void TrackerNode::OnRangeTransfer(const chord::Key& lo, const chord::Key& hi,
   }
 }
 
+void TrackerNode::OnNeighborhoodChanged() {
+  if (!config_.replicate_index || leaving_ || !chord_.Alive()) return;
+  // A predecessor change may have made this node the owner of keys whose
+  // replicas it holds (the previous owner crashed or was scrubbed);
+  // a successor-set change means the index may be mirrored at nodes that
+  // no longer inherit it. Promote synchronously, re-push debounced.
+  PromoteOwnedReplicas();
+  ScheduleAntiEntropy();
+}
+
 void TrackerNode::AcceptIndividualEntries(
     std::vector<std::pair<hash::UInt160, IndexEntry>> entries) {
+  std::vector<ReplicaUpdate::Item> accepted;
   for (auto& [object, entry] : entries) {
     const IndexEntry* existing = individual_.Find(object);
     if (existing == nullptr || existing->latest_arrived < entry.latest_arrived) {
       individual_.Upsert(object, entry);
+      if (config_.replicate_index) {
+        accepted.push_back(
+            {object, entry.latest_node, entry.latest_arrived, hash::Prefix{}});
+      }
     }
   }
+  ReplicateEntries(accepted, obs::TraceContext{});
 }
 
 }  // namespace peertrack::tracking

@@ -69,10 +69,21 @@ struct TrackerConfig {
   /// query to its callback instead of hanging.
   rpc::RetryPolicy rpc;
   /// Extension (not in the paper): mirror every gateway index update to
-  /// the gateway's ring successor. When the gateway crashes, Chord makes
-  /// that successor the key's new owner, so queries fall through to the
-  /// replica and keep resolving. One extra message per index batch.
+  /// the gateway's first `replication_factor` ring successors. When the
+  /// gateway crashes, Chord makes the nearest surviving successor the key's
+  /// new owner, which promotes its replica — so L(o, t) keeps resolving.
+  /// One acknowledged push per batch per replica target.
   bool replicate_index = false;
+  /// Replica targets per gateway (only used when replicate_index). R=2
+  /// survives a gateway crash plus one concurrent successor crash.
+  std::size_t replication_factor = 2;
+  /// Delay between BeginLeave (which rehomes on-premise objects at the
+  /// successor) and the final state handoff. Must cover the capture window
+  /// Tmax plus a few network round-trips, so the rehoming M2/M3 updates
+  /// land while the departing node can still receive them.
+  double leave_settle_ms = 2500.0;
+  /// Debounce for the anti-entropy push after a neighborhood change.
+  double anti_entropy_delay_ms = 100.0;
 };
 
 /// Network-wide prefix length, shared by reference across all trackers
@@ -121,6 +132,33 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   /// Force-close the capture window (used at end of a workload phase; the
   /// Tmax timer does this in steady state).
   void FlushWindow();
+
+  // --- Graceful departure (churn extension; see DESIGN.md §8) -----------
+
+  struct LeaveSummary {
+    bool left = false;         ///< Departure initiated (was alive, not leaving).
+    chord::NodeRef successor;  ///< Heir at BeginLeave time.
+    std::size_t rehomed = 0;   ///< On-premise objects recaptured at the heir.
+  };
+  /// Phase 1 of the two-phase leave: flush the capture window, recapture
+  /// every on-premise object at the ring successor (so the index and the
+  /// IOP chain extend to a live node), and schedule FinishLeave after
+  /// `leave_settle_ms`. The second phase repoints every IOP link at this
+  /// node to the heir, hands over IOP/replica/delegation state, and runs
+  /// the Chord leave (which migrates the gateway index).
+  LeaveSummary BeginLeave();
+  bool Leaving() const noexcept { return leaving_; }
+  /// True once the full handoff completed; the invariant monitor's
+  /// handoff.complete check asserts no live state references such a node.
+  bool LeftGracefully() const noexcept { return left_gracefully_; }
+
+  /// Direct-call handoff surface, used by a departing predecessor (wire
+  /// cost charged by the caller via ChargeRpc).
+  void AdoptIopRecords(
+      std::vector<std::pair<hash::UInt160, std::vector<moods::Visit>>> records);
+  void AdoptDelegationMarkers(const std::set<hash::Prefix>& prefixes);
+  void AdoptReplicaRecords(
+      std::vector<std::pair<hash::UInt160, ReplicaRecord>> records);
 
   // --- Queries ----------------------------------------------------------
 
@@ -198,6 +236,7 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   void OnAppMessage(sim::ActorId from, std::unique_ptr<sim::Message> message) override;
   void OnRangeTransfer(const chord::Key& lo, const chord::Key& hi,
                        const chord::NodeRef& new_owner) override;
+  void OnNeighborhoodChanged() override;
 
   // --- Introspection ------------------------------------------------------
 
@@ -212,6 +251,8 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   const PrefixIndexStore& prefix_store() const noexcept { return store_; }
   /// Individual-mode gateway map (read-only; invariant monitor scans).
   const PrefixBucket& individual_index() const noexcept { return individual_; }
+  /// Replica records (read-only; gateway.replication check scans).
+  const ReplicaStore& replica_store() const noexcept { return replica_; }
   std::uint64_t WindowsFlushed() const noexcept { return window_.WindowsClosed(); }
 
   // --- Fault injection (tests only) ---------------------------------------
@@ -237,11 +278,27 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   void HandleGroupArrival(const GroupArrival& arrival);
   void HandleIopTo(const IopToUpdate& update);
   void HandleIopFrom(const IopFromUpdate& update);
-  void HandleReplica(const ReplicaUpdate& update);
-  /// Mirror freshly-updated entries to the ring successor. `ctx` is the
-  /// originating index trace (invalid when untraced).
+  std::unique_ptr<ReplicaAck> HandleReplica(const ReplicaUpdate& update);
+  void HandleReplicaErase(const ReplicaErase& erase);
+  void HandleIopRepoint(const IopRepoint& update);
+  /// Mirror freshly-updated entries to the first R ring successors (one
+  /// acknowledged RPC per target). `ctx` is the originating index trace
+  /// (invalid when untraced).
   void ReplicateEntries(const std::vector<ReplicaUpdate::Item>& items,
                         const obs::TraceContext& ctx);
+  /// First `replication_factor` distinct successor-list entries (excluding
+  /// self) — the nodes that inherit this gateway's keys on a crash.
+  std::vector<chord::NodeRef> ReplicaTargets() const;
+  /// Tell replica holders these entries left this gateway (delegation).
+  void SendReplicaErase(std::vector<hash::UInt160> objects);
+  /// Move replica records whose gateway key this node now owns into the
+  /// authoritative index (successor promotion after a crash).
+  void PromoteOwnedReplicas();
+  /// Debounced full-state push to the current replica targets; re-protects
+  /// the index after the successor set changes (join, crash, scrub).
+  void ScheduleAntiEntropy();
+  void RunAntiEntropy();
+  void FinishLeave();
   /// Replica fall-through used by gateway lookups after a crash.
   const IndexEntry* ReplicaLookup(const hash::UInt160& object) const {
     return replica_.Find(object);
@@ -316,11 +373,18 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
 
   moods::IopStore iop_;
   PrefixBucket individual_;  ///< Individual-mode gateway entries (flat).
-  PrefixBucket replica_;     ///< Backup of the predecessor gateway's entries.
+  ReplicaStore replica_;     ///< Backups held for preceding gateways.
   PrefixIndexStore store_;   ///< Group-mode prefix buckets.
   CaptureWindow window_;
   sim::EventHandle window_timer_;
   std::uint64_t window_generation_ = 0;
+
+  // Graceful-leave state machine (BeginLeave -> settle -> FinishLeave).
+  bool leaving_ = false;
+  bool left_gracefully_ = false;
+  sim::EventHandle leave_timer_;
+  bool anti_entropy_scheduled_ = false;
+  sim::EventHandle anti_entropy_timer_;
 
   std::vector<std::unique_ptr<moods::Receptor>> receptors_;
 
@@ -340,6 +404,9 @@ class TrackerNode final : public chord::ChordNode::AppHandler {
   obs::Counter& ctr_replica_hit_;
   obs::Counter& ctr_probe_timeout_;
   obs::Counter& ctr_walk_timeout_;
+  obs::Counter& ctr_replica_promoted_;
+  obs::Counter& ctr_anti_entropy_;
+  obs::Counter& ctr_chain_forward_;
 
   /// Prefixes whose entries this gateway has pushed down to child
   /// gateways. refresh_from_descent / the triangle lookup only probe

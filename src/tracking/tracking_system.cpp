@@ -108,7 +108,57 @@ void TrackingSystem::GrowNetwork(std::size_t extra) {
           chord_node.Predecessor() ? chord_node.Predecessor()->id : chord_node.Self().id;
       old_owner->OnRangeTransfer(lo, chord_node.Self().id, chord_node.Self());
     }
+    if (config_.tracker.replicate_index) {
+      // Oracle wiring bypasses the protocol's neighborhood notifications;
+      // nodes whose successor set now contains the newcomer re-protect
+      // their index against it explicitly.
+      for (auto& tracker : trackers_) {
+        if (!tracker->chord().Alive()) continue;
+        for (const auto& node : tracker->chord().successors().Entries()) {
+          if (node.actor == chord_node.Self().actor) {
+            tracker->OnNeighborhoodChanged();
+            break;
+          }
+        }
+      }
+    }
   }
+}
+
+std::size_t TrackingSystem::ProtocolJoinNode() {
+  const std::size_t index = trackers_.size();
+  auto& chord_node = ring_->ProtocolJoin(util::Format("org-{}", index));
+  trackers_.push_back(std::make_unique<TrackerNode>(chord_node, *this, global_lp_,
+                                                    config_.tracker));
+  actor_of_index_.push_back(chord_node.Self().actor);
+  index_of_actor_.emplace(chord_node.Self().actor,
+                          static_cast<moods::NodeIndex>(index));
+  if (config_.stabilize_every_ms > 0.0 || config_.fix_fingers_every_ms > 0.0) {
+    chord_node.StartMaintenance(config_.stabilize_every_ms,
+                                config_.fix_fingers_every_ms);
+  }
+  return index;
+}
+
+TrackerNode::LeaveSummary TrackingSystem::LeaveNode(std::size_t index) {
+  TrackerNode& tracker = *trackers_[index];
+  const double now = simulator_.Now();
+  const auto inventory = tracker.iop().InventoryAt(now);
+  const auto summary = tracker.BeginLeave();
+  if (summary.left && summary.rehomed > 0) {
+    const moods::NodeIndex heir = NodeIndexOfActor(summary.successor.actor);
+    if (heir != moods::kNowhere) {
+      // The rehoming recapture is a real movement; ground truth follows.
+      for (const auto& object : inventory) {
+        oracle_.RecordMovement(object, heir, now);
+      }
+    }
+  }
+  return summary;
+}
+
+void TrackingSystem::CrashNode(std::size_t index) {
+  trackers_[index]->chord().Crash();
 }
 
 unsigned TrackingSystem::RecomputePrefixLength() {

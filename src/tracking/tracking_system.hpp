@@ -92,6 +92,23 @@ class TrackingSystem final : public PeerDirectory {
   /// afterwards to let Lp react (split cascade).
   void GrowNetwork(std::size_t extra);
 
+  /// Protocol-level join (churn extension; see DESIGN.md §8): one new
+  /// organization joins through the Chord join protocol — no oracle
+  /// wiring. Requires maintenance timers in the config; the caller
+  /// advances the simulator to let stabilization integrate the node (and
+  /// ownership handoff happens through notify/OnRangeTransfer). Returns
+  /// the new node's index.
+  std::size_t ProtocolJoinNode();
+
+  /// Graceful departure of node `index`: starts the two-phase leave
+  /// (rehome on-premise objects at the successor now, hand state over
+  /// after the settle delay) and mirrors the rehoming into the oracle.
+  TrackerNode::LeaveSummary LeaveNode(std::size_t index);
+
+  /// Crash node `index` without notice. A node crashed mid-leave never
+  /// counts as gracefully departed.
+  void CrashNode(std::size_t index);
+
   /// Map an overlay actor id back to the experiment's node index
   /// (kNowhere when unknown) — used to validate against the oracle.
   moods::NodeIndex NodeIndexOfActor(sim::ActorId actor) const;

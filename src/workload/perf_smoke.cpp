@@ -28,6 +28,7 @@ PerfSmokeReport RunPerfSmoke(const PerfSmokeParams& params) {
   config.tracker.mode = tracking::IndexingMode::kGroup;
   config.tracker.window.tmax_ms = 1000.0;
   config.tracker.window.nmax = 8192;
+  config.tracker.replicate_index = params.replicate;
   config.seed = params.seed;
   const std::size_t nodes = std::max<std::size_t>(params.nodes, 2);
   auto system = std::make_unique<tracking::TrackingSystem>(nodes, config);

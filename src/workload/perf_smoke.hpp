@@ -26,6 +26,12 @@ struct PerfSmokeParams {
   std::size_t queries = 100;  ///< Trace queries after the indexing phase.
   std::uint64_t seed = 0xBE9C5ULL;
 
+  /// Replicate the gateway index to R successors (TrackerConfig defaults:
+  /// R=2). On by default so the canonical BENCH.json numbers include the
+  /// replication write path — the churn-recovery machinery is meant to be
+  /// cheap enough to leave on. --replicate=0 measures the bare index.
+  bool replicate = true;
+
   /// Run the obs::InvariantMonitor alongside the workload and record its
   /// overhead. The monitor schedules sim events, so two runs with the same
   /// params (including this flag) stay bit-identical, but an --invariants

@@ -1,0 +1,182 @@
+// Seeded churn-soak property test (the PR's acceptance harness).
+//
+// A mid-sized network runs with full protocol maintenance while a seeded
+// schedule of joins, crashes, graceful leaves, captures, and live queries
+// plays out. The InvariantMonitor audits ring and tracking structure the
+// whole time. The property under test is not "nothing ever breaks" —
+// violations are *expected* to open during churn — but that the system is
+// self-healing:
+//
+//   * at quiesce, zero violations remain open (fatal or otherwise),
+//   * every violation that opened healed within kRepairBoundMs,
+//   * every live query issued during churn eventually completed,
+//   * after quiesce, L(o, now) answers match the ground-truth oracle for
+//     every object whose current holder is still alive.
+//
+// Each seed is a distinct deterministic run; CI executes all of them
+// (ctest label: churn).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/invariants.hpp"
+#include "tracking/tracking_system.hpp"
+#include "util/format.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+constexpr double kRepairBoundMs = 100000.0;  ///< Max tolerated heal latency.
+constexpr std::size_t kInitialNodes = 16;
+constexpr std::size_t kAliveFloor = 10;  ///< Never shrink below this.
+constexpr int kRounds = 30;
+
+SystemConfig SoakConfig(std::uint64_t seed) {
+  SystemConfig config;
+  config.tracker.mode = IndexingMode::kGroup;
+  config.tracker.window.tmax_ms = 100.0;
+  config.tracker.replicate_index = true;
+  config.tracker.query_timeout_ms = 5000.0;
+  config.stabilize_every_ms = 100.0;
+  config.fix_fingers_every_ms = 10.0;
+  config.seed = seed;
+  return config;
+}
+
+class ChurnSoak : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void Settle(TrackingSystem& system, double ms) {
+    system.RunUntil(system.simulator().Now() + ms);
+  }
+
+  /// Nodes that can host captures / originate queries / be churned.
+  std::vector<std::size_t> Usable(TrackingSystem& system) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < system.NodeCount(); ++i) {
+      auto& tracker = system.Tracker(i);
+      if (tracker.chord().Alive() && !tracker.Leaving()) out.push_back(i);
+    }
+    return out;
+  }
+};
+
+TEST_P(ChurnSoak, RandomChurnHealsWithinBound) {
+  const std::uint64_t seed = GetParam();
+  TrackingSystem system(kInitialNodes, SoakConfig(seed));
+  util::Rng rng(seed * 7919 + 3);  // Schedule stream, distinct from the net's.
+
+  std::vector<hash::UInt160> objects;
+  for (int i = 0; i < 12; ++i) {
+    objects.push_back(hash::ObjectKey(util::Format("epc:soak-{}-{}", seed, i)));
+  }
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    system.CaptureAt(i % kInitialNodes, objects[i], 10.0 + static_cast<double>(i));
+  }
+  Settle(system, 3000.0);
+
+  obs::InvariantMonitor monitor(system.simulator(), system.metrics().registry());
+  obs::InstallRingChecks(monitor, system.ring());
+  obs::InstallTrackingChecks(monitor, system);
+  monitor.Start(/*period_ms=*/500.0,
+                /*until_ms=*/system.simulator().Now() + 400000.0);
+
+  int joins_left = 3, crashes_left = 3, leaves_left = 3;
+  std::size_t queries_issued = 0, queries_completed = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const auto usable = Usable(system);
+    ASSERT_GE(usable.size(), 2u);
+    const std::uint64_t op = rng.Next() % 10;
+    bool destructive = false;
+
+    if (op == 6 && joins_left > 0) {
+      system.ProtocolJoinNode();
+      --joins_left;
+      destructive = true;
+    } else if (op == 7 && crashes_left > 0 && usable.size() > kAliveFloor) {
+      system.CrashNode(usable[rng.Next() % usable.size()]);
+      --crashes_left;
+      destructive = true;
+    } else if (op == 8 && leaves_left > 0 && usable.size() > kAliveFloor) {
+      system.LeaveNode(usable[rng.Next() % usable.size()]);
+      --leaves_left;
+      destructive = true;
+    } else if (op == 4 || op == 5) {
+      // Live query during churn: must complete (success not required —
+      // the holder itself may be dead), correctness is asserted at quiesce.
+      const auto& object = objects[rng.Next() % objects.size()];
+      const std::size_t origin = usable[rng.Next() % usable.size()];
+      ++queries_issued;
+      if (op == 4) {
+        system.LocateQuery(origin, object,
+                           [&](TrackerNode::LocateResult) { ++queries_completed; });
+      } else {
+        system.TraceQuery(origin, object,
+                          [&](TrackerNode::TraceResult) { ++queries_completed; });
+      }
+    } else {
+      const auto& object = objects[rng.Next() % objects.size()];
+      const std::size_t node = usable[rng.Next() % usable.size()];
+      system.CaptureAt(node, object, system.simulator().Now() + 10.0);
+    }
+    // Destructive rounds get a long settle so graceful leaves finish their
+    // two-phase handoff before the next membership event (the protocol
+    // serializes real-world churn the same way operators do).
+    Settle(system, destructive ? 6000.0 : 800.0);
+  }
+
+  // Quiesce: no more churn; everything must converge and heal.
+  Settle(system, 60000.0);
+  monitor.RunOnce();
+
+  EXPECT_EQ(queries_completed, queries_issued)
+      << "a live query was dropped during churn";
+
+  const auto report = monitor.Report();
+  EXPECT_EQ(report.open_fatal, 0u) << "open fatal violations at quiesce";
+  EXPECT_EQ(monitor.OpenViolations(), 0u)
+      << "violations still open at quiesce (seed " << seed << ")";
+  for (const auto& violation : monitor.ledger().violations()) {
+    if (!violation.Open()) continue;
+    ADD_FAILURE() << "open: " << violation.check << " " << violation.subject
+                  << " — " << violation.detail << " (actor "
+                  << violation.actor << ", since " << violation.first_seen_ms
+                  << ")";
+  }
+  for (const auto& check : report.checks) {
+    EXPECT_LE(check.repair.max_ms, kRepairBoundMs)
+        << check.id << " healed too slowly (seed " << seed << ")";
+  }
+
+  // Ground truth: every object currently held by an alive node must be
+  // locatable at its true position.
+  const auto origins = Usable(system);
+  ASSERT_FALSE(origins.empty());
+  std::size_t sweep_expected = 0, sweep_correct = 0;
+  for (const auto& object : objects) {
+    const moods::NodeIndex latest =
+        system.oracle().Locate(object, system.simulator().Now());
+    if (latest == moods::kNowhere) continue;
+    if (!system.Tracker(latest).chord().Alive()) continue;
+    ++sweep_expected;
+    system.LocateQuery(
+        origins[sweep_expected % origins.size()], object,
+        [&, latest](TrackerNode::LocateResult result) {
+          if (result.ok &&
+              system.NodeIndexOfActor(result.node.actor) == latest) {
+            ++sweep_correct;
+          }
+        });
+  }
+  Settle(system, 15000.0);
+  EXPECT_EQ(sweep_correct, sweep_expected)
+      << "post-quiesce locate sweep disagreed with the oracle (seed " << seed
+      << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSoak,
+                         ::testing::Values(11ull, 23ull, 47ull));
+
+}  // namespace
+}  // namespace peertrack::tracking

@@ -1,0 +1,166 @@
+// Gateway handoff edge cases under protocol-level churn.
+//
+// These scenarios run with real Chord maintenance (no oracle re-wiring):
+// stabilization, death-certificate scrubbing, replica promotion, and the
+// two-phase graceful leave are the only repair mechanisms available.
+//
+//   1. M1 races ownership transfer: an object moves while its gateway is
+//      mid-leave; the location report lands on either side of the handoff
+//      and must still be resolvable afterwards.
+//   2. Two adjacent successors crash in the same stabilization round: with
+//      R = 2 the surviving second successor holds the replica and promotes
+//      it once it owns the range.
+//   3. Re-replication after ring re-convergence: crash + leave + join, then
+//      the gateway.replication and handoff.complete invariants must hold
+//      at quiesce.
+
+#include <gtest/gtest.h>
+
+#include "obs/invariants.hpp"
+#include "tracking/tracking_system.hpp"
+#include "util/format.hpp"
+
+namespace peertrack::tracking {
+namespace {
+
+SystemConfig ChurnConfig(IndexingMode mode) {
+  SystemConfig config;
+  config.tracker.mode = mode;
+  config.tracker.window.tmax_ms = 100.0;
+  config.tracker.replicate_index = true;
+  config.tracker.query_timeout_ms = 5000.0;
+  config.stabilize_every_ms = 100.0;
+  config.fix_fingers_every_ms = 10.0;
+  config.seed = 0x51abULL;
+  return config;
+}
+
+std::size_t GatewayIndexOf(TrackingSystem& system, const hash::UInt160& object,
+                           IndexingMode mode) {
+  const chord::Key target =
+      mode == IndexingMode::kIndividual
+          ? object
+          : hash::GroupKey(hash::Prefix::OfKey(object, system.CurrentLp()));
+  chord::ChordNode* owner = system.ring().ExpectedOwner(target);
+  return system.NodeIndexOfActor(owner->Self().actor);
+}
+
+void Settle(TrackingSystem& system, double ms) {
+  system.RunUntil(system.simulator().Now() + ms);
+}
+
+TEST(TrackingHandoff, CaptureDuringLeaveStaysResolvable) {
+  TrackingSystem system(12, ChurnConfig(IndexingMode::kIndividual));
+  const auto object = hash::ObjectKey("epc:mid-leave-mover");
+  const std::size_t gateway =
+      GatewayIndexOf(system, object, IndexingMode::kIndividual);
+  const std::size_t holder = (gateway + 1) % system.NodeCount();
+  const std::size_t mover = (gateway + 2) % system.NodeCount();
+
+  system.CaptureAt(holder, object, 10.0);
+  Settle(system, 3000.0);
+
+  // Begin the gateway's two-phase leave, then move the object while the
+  // handoff is in flight: the M1 report races the ownership transfer.
+  const auto summary = system.LeaveNode(gateway);
+  ASSERT_TRUE(summary.left);
+  system.CaptureAt(mover, object, system.simulator().Now() + 50.0);
+  Settle(system, 20000.0);
+
+  bool done = false;
+  system.LocateQuery(mover == 0 ? 1 : 0, object,
+                     [&](TrackerNode::LocateResult result) {
+                       EXPECT_TRUE(result.ok)
+                           << "capture racing the handoff must not be lost";
+                       if (result.ok) {
+                         EXPECT_EQ(system.NodeIndexOfActor(result.node.actor),
+                                   mover);
+                       }
+                       done = true;
+                     });
+  Settle(system, 10000.0);
+  EXPECT_TRUE(done);
+}
+
+TEST(TrackingHandoff, ReplicaPromotionSurvivesTwoAdjacentCrashes) {
+  TrackingSystem system(14, ChurnConfig(IndexingMode::kIndividual));
+  const auto object = hash::ObjectKey("epc:double-crash");
+  const std::size_t gateway =
+      GatewayIndexOf(system, object, IndexingMode::kIndividual);
+  const std::size_t holder = (gateway + 3) % system.NodeCount();
+
+  system.CaptureAt(holder, object, 10.0);
+  Settle(system, 3000.0);
+
+  // Crash the gateway and its first successor in the same instant — the
+  // same stabilization round. With R = 2 the second successor still holds
+  // the replica and, once it owns the range, promotes it.
+  const auto& successors =
+      system.Tracker(gateway).chord().successors().Entries();
+  ASSERT_GE(successors.size(), 2u);
+  const std::size_t succ0 = system.NodeIndexOfActor(successors[0].actor);
+  ASSERT_NE(succ0, moods::kNowhere);
+  system.CrashNode(gateway);
+  system.CrashNode(succ0);
+  Settle(system, 60000.0);
+
+  std::size_t origin = system.NodeCount();
+  for (std::size_t i = 0; i < system.NodeCount(); ++i) {
+    if (i != gateway && i != succ0 && system.Tracker(i).chord().Alive()) {
+      origin = i;
+      break;
+    }
+  }
+  ASSERT_LT(origin, system.NodeCount());
+
+  bool done = false;
+  system.LocateQuery(origin, object, [&](TrackerNode::LocateResult result) {
+    EXPECT_TRUE(result.ok)
+        << "second successor's replica should have been promoted";
+    if (result.ok) {
+      EXPECT_EQ(system.NodeIndexOfActor(result.node.actor), holder);
+    }
+    done = true;
+  });
+  Settle(system, 10000.0);
+  EXPECT_TRUE(done);
+  EXPECT_GT(system.metrics().Counter("track.replica_promoted"), 0u);
+}
+
+TEST(TrackingHandoff, ReplicationInvariantHoldsAfterMixedChurn) {
+  TrackingSystem system(12, ChurnConfig(IndexingMode::kGroup));
+
+  // A handful of two-hop trajectories spread across the network.
+  for (int i = 0; i < 8; ++i) {
+    const auto object = hash::ObjectKey(util::Format("epc:mixed-{}", i));
+    system.CaptureAt(static_cast<std::size_t>(i) % system.NodeCount(), object,
+                     10.0 + 5.0 * i);
+    system.CaptureAt(static_cast<std::size_t>(i + 5) % system.NodeCount(),
+                     object, 600.0 + 5.0 * i);
+  }
+  Settle(system, 3000.0);
+
+  obs::InvariantMonitor monitor(system.simulator(),
+                                system.metrics().registry());
+  obs::InstallRingChecks(monitor, system.ring());
+  obs::InstallTrackingChecks(monitor, system);
+  monitor.Start(/*period_ms=*/1000.0,
+                /*until_ms=*/system.simulator().Now() + 95000.0);
+
+  system.CrashNode(4);
+  system.LeaveNode(7);
+  system.ProtocolJoinNode();
+  Settle(system, 90000.0);
+  monitor.RunOnce();
+
+  const auto report = monitor.Report();
+  EXPECT_EQ(report.open_fatal, 0u);
+  EXPECT_EQ(monitor.ledger().OpenCount("gateway.replication"), 0u)
+      << "anti-entropy must re-protect the index after re-convergence";
+  EXPECT_EQ(monitor.ledger().OpenCount("handoff.complete"), 0u)
+      << "no surviving state may still reference the graceful leaver";
+  EXPECT_EQ(monitor.OpenViolations(), 0u);
+}
+
+}  // namespace
+}  // namespace peertrack::tracking

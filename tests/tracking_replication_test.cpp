@@ -108,8 +108,9 @@ TEST(Replication, ReplicaEntriesAccumulateAtSuccessors) {
   EXPECT_GE(total_replicas, 16u * 50u);
 }
 
-TEST(Replication, CostIsOneExtraMessagePerIndexBatch) {
-  // Replication may add at most one message per index update batch.
+TEST(Replication, CostIsBoundedPerIndexBatchAndTarget) {
+  // Replication adds at most one request + one ack per index update batch
+  // per replica target (R targets), plus debounced anti-entropy rounds.
   workload::MovementParams params;
   params.nodes = 16;
   params.objects_per_node = 100;
@@ -124,7 +125,11 @@ TEST(Replication, CostIsOneExtraMessagePerIndexBatch) {
 
   const std::uint64_t groups =
       replicated.metrics().Counter("track.group_handled");
-  EXPECT_LE(with.indexing_messages, base.indexing_messages + groups);
+  const std::uint64_t anti_entropy =
+      replicated.metrics().Counter("track.anti_entropy");
+  const std::uint64_t r = replicated.config().tracker.replication_factor;
+  EXPECT_LE(with.indexing_messages,
+            base.indexing_messages + 2 * r * (groups + anti_entropy));
   EXPECT_GT(with.indexing_messages, base.indexing_messages);
 }
 
